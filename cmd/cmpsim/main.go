@@ -1,0 +1,114 @@
+// Command cmpsim runs one workload on one or all of the three
+// multiprocessor-microprocessor architectures and prints the paper-style
+// execution-time breakdown and miss-rate table.
+//
+// Usage:
+//
+//	cmpsim -workload eqntott                 # all three architectures, Mipsy
+//	cmpsim -workload mp3d -arch shared-l1    # one architecture
+//	cmpsim -workload ear -model mxs          # detailed dynamic superscalar model
+//	cmpsim -workload mp3d -l2assoc 4         # the Section 4.1 L2 ablation
+//	cmpsim -list                             # list workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmpsim/internal/core"
+	"cmpsim/internal/memsys"
+	"cmpsim/internal/stats"
+	"cmpsim/internal/workload"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "", "workload to run (see -list)")
+		archStr = flag.String("arch", "all", "architecture: shared-l1, shared-l2, shared-mem, or all")
+		model   = flag.String("model", "mipsy", "CPU model: mipsy or mxs")
+		l2assoc = flag.Uint("l2assoc", 0, "override L2 associativity (0 = paper default)")
+		cpus    = flag.Int("cpus", 0, "override processor count (0 = paper's 4)")
+		regions = flag.Bool("regions", false, "profile data accesses by 256KB physical region")
+		list    = flag.Bool("list", false, "list available workloads")
+		verbose = flag.Bool("v", false, "also print raw cycle counts and IPC")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			w, _ := workload.New(n)
+			fmt.Printf("%-10s %s\n", n, w.Description())
+		}
+		return
+	}
+	if *wlName == "" {
+		fmt.Fprintln(os.Stderr, "cmpsim: -workload is required (try -list)")
+		os.Exit(2)
+	}
+
+	var arches []core.Arch
+	if *archStr == "all" {
+		arches = core.Arches()
+	} else {
+		arches = []core.Arch{core.Arch(*archStr)}
+	}
+
+	cfg := memsys.DefaultConfig()
+	if *l2assoc > 0 {
+		cfg.L2Assoc = uint32(*l2assoc)
+	}
+	if *cpus > 0 {
+		cfg.NumCPUs = *cpus
+	}
+
+	runs := map[core.Arch]*core.RunResult{}
+	for _, a := range arches {
+		w, err := workload.New(*wlName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cmpsim:", err)
+			os.Exit(2)
+		}
+		acfg := cfg
+		var prof *regionProfile
+		if *regions {
+			prof = newRegionProfile()
+			acfg.Tracer = prof.observe
+		}
+		res, err := workload.Run(w, a, core.CPUModel(*model), &acfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cmpsim:", err)
+			os.Exit(1)
+		}
+		runs[a] = res
+		if *verbose {
+			fmt.Printf("%-11s cycles=%d insts=%d IPC=%.3f\n", a, res.Cycles, res.Instructions(), res.IPC())
+		}
+		if prof != nil {
+			fmt.Printf("--- %s: data accesses by 256KB region (top 12 by total latency) ---\n", a)
+			prof.print(os.Stdout, 12)
+		}
+	}
+
+	if _, ok := runs[core.SharedMem]; !ok {
+		// No baseline for normalization; print raw numbers.
+		for a, r := range runs {
+			b := stats.FromRun(r)
+			fmt.Printf("%-11s total=%.0f cpu=%.0f istall=%.0f dstall=%.0f\n",
+				a, b.Total, b.CPU, b.IStall, b.MemStall())
+		}
+		return
+	}
+	fig := stats.BuildFigure("Result", *wlName, core.CPUModel(*model), runs)
+	fmt.Print(fig.String())
+	fmt.Print(fig.Chart())
+
+	if *model == "mxs" {
+		fmt.Println("\nIPC breakdown (Figure 11 style):")
+		for _, a := range arches {
+			row := stats.IPCBreakdown(runs[a])
+			fmt.Printf("%-11s IPC=%.3f lossI=%.3f lossD=%.3f lossPipe=%.3f\n",
+				a, row.IPC, row.LossI, row.LossD, row.LossPipe)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cmpsim/internal/memsys"
+)
+
+// regionProfile aggregates the memory system's access trace by 256KB
+// physical region: how many references each region received, at which
+// hierarchy level they were serviced, and how much load-to-use latency
+// they cost. It is wired in through memsys.Config.Tracer.
+type regionProfile struct {
+	regions map[uint32]*regionStats
+}
+
+type regionStats struct {
+	count    [memsys.NumLevels]uint64
+	latency  uint64
+	accesses uint64
+	writes   uint64
+}
+
+const regionShift = 18 // 256 KiB granularity
+
+func newRegionProfile() *regionProfile {
+	return &regionProfile{regions: make(map[uint32]*regionStats)}
+}
+
+// observe matches memsys.Config.Tracer.
+func (p *regionProfile) observe(cpu int, addr uint32, write bool, lvl memsys.Level, lat uint64) {
+	key := addr >> regionShift
+	rs := p.regions[key]
+	if rs == nil {
+		rs = &regionStats{}
+		p.regions[key] = rs
+	}
+	rs.count[lvl]++
+	rs.accesses++
+	rs.latency += lat
+	if write {
+		rs.writes++
+	}
+}
+
+// print writes the top-n regions by total latency.
+func (p *regionProfile) print(w io.Writer, n int) {
+	type row struct {
+		key uint32
+		rs  *regionStats
+	}
+	rows := make([]row, 0, len(p.regions))
+	for k, rs := range p.regions {
+		rows = append(rows, row{k, rs})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].rs.latency != rows[j].rs.latency {
+			return rows[i].rs.latency > rows[j].rs.latency
+		}
+		return rows[i].key < rows[j].key
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	fmt.Fprintf(w, "%-22s %10s %8s %9s %9s %9s %9s %10s\n",
+		"region", "accesses", "writes%", "L1%", "L2%", "mem%", "c2c%", "avg lat")
+	for _, r := range rows {
+		base := r.rs
+		pct := func(c uint64) float64 { return 100 * float64(c) / float64(base.accesses) }
+		fmt.Fprintf(w, "[%08x,%08x) %10d %7.1f%% %8.2f%% %8.2f%% %8.2f%% %8.2f%% %10.2f\n",
+			r.key<<regionShift, (r.key+1)<<regionShift,
+			base.accesses, pct(base.writes),
+			pct(base.count[memsys.LvlL1]), pct(base.count[memsys.LvlL2]),
+			pct(base.count[memsys.LvlMem]), pct(base.count[memsys.LvlC2C]),
+			float64(base.latency)/float64(base.accesses))
+	}
+}

@@ -1,0 +1,45 @@
+// Command disasm prints the disassembly of a workload's guest programs
+// (the benchmark itself, the guest runtime, and — for the
+// multiprogramming workload — the guest kernel), as loaded into physical
+// memory. Useful for inspecting exactly what the CPU models execute.
+//
+//	disasm -workload ear | less
+//	disasm -workload pmake | grep -A4 kern_read
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"cmpsim/internal/core"
+	"cmpsim/internal/memsys"
+	"cmpsim/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "", "workload whose guest code to dump (see cmpsim -list)")
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "disasm: -workload is required")
+		os.Exit(2)
+	}
+	w, err := workload.New(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disasm:", err)
+		os.Exit(2)
+	}
+	m, err := core.NewMachine(core.SharedMem, core.ModelMipsy, memsys.DefaultConfig(), w.MemBytes())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disasm:", err)
+		os.Exit(1)
+	}
+	if err := w.Configure(m); err != nil {
+		fmt.Fprintln(os.Stderr, "disasm:", err)
+		os.Exit(1)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	m.Code.Dump(out)
+}

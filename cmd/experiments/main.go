@@ -1,0 +1,244 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation in one run: Table 1 (functional-unit latencies), Table 2
+// (contention-free access latencies), Figures 4-10 (per-application
+// execution-time breakdowns and miss rates under the simple CPU model),
+// the Section 4.1 MP3D L2-associativity ablation, and Figure 11 (IPC
+// breakdowns under the detailed dynamic superscalar model).
+//
+//	experiments            # full paper-scale run (a few minutes)
+//	experiments -quick     # reduced data sets for a fast smoke run
+//	experiments -skip-mxs  # only the Mipsy figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cmpsim/internal/core"
+	"cmpsim/internal/cpu"
+	"cmpsim/internal/isa"
+	"cmpsim/internal/memsys"
+	"cmpsim/internal/stats"
+	"cmpsim/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced data sets")
+	skipMXS := flag.Bool("skip-mxs", false, "skip the detailed-CPU (Figure 11) runs")
+	flag.Parse()
+
+	start := time.Now()
+	table1()
+	table2()
+
+	figures := []struct {
+		name string
+		wl   func() workload.Workload
+	}{
+		{"Figure 4: Eqntott", func() workload.Workload { return eqntott(*quick) }},
+		{"Figure 5: MP3D", func() workload.Workload { return mp3d(*quick) }},
+		{"Figure 6: Ocean", func() workload.Workload { return ocean(*quick) }},
+		{"Figure 7: Volpack", func() workload.Workload { return volpack(*quick) }},
+		{"Figure 8: Ear", func() workload.Workload { return ear(*quick) }},
+		{"Figure 9: FFT", func() workload.Workload { return fft(*quick) }},
+		{"Figure 10: Multiprogramming + OS", func() workload.Workload { return pmake(*quick) }},
+	}
+	for _, f := range figures {
+		runFigure(f.name, f.wl, core.ModelMipsy, nil)
+	}
+
+	mp3dAblation(*quick)
+
+	if !*skipMXS {
+		fmt.Println("=== Figure 11: dynamic superscalar (MXS) results ===")
+		for _, f := range []struct {
+			name string
+			wl   func() workload.Workload
+		}{
+			{"Figure 11a: Multiprogramming (MXS)", func() workload.Workload { return pmake(*quick) }},
+			{"Figure 11b: Eqntott (MXS)", func() workload.Workload { return eqntott(*quick) }},
+			{"Figure 11c: Ear (MXS)", func() workload.Workload { return ear(*quick) }},
+		} {
+			rows := runFigure(f.name, f.wl, core.ModelMXS, nil)
+			fmt.Println("IPC loss breakdown (ideal per-CPU IPC = 2):")
+			for _, r := range rows {
+				fmt.Printf("  %-11s IPC=%.3f  lossI=%.3f  lossD=%.3f  lossPipe=%.3f\n",
+					r.Arch, r.IPC, r.LossI, r.LossD, r.LossPipe)
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func eqntott(q bool) workload.Workload {
+	if q {
+		return workload.NewEqntott(workload.EqntottParams{Words: 128, Iters: 60})
+	}
+	return workload.NewEqntott(workload.EqntottParams{})
+}
+
+func mp3d(q bool) workload.Workload {
+	if q {
+		return workload.NewMP3D(workload.MP3DParams{Particles: 2048, Steps: 2})
+	}
+	return workload.NewMP3D(workload.MP3DParams{})
+}
+
+func ocean(q bool) workload.Workload {
+	if q {
+		return workload.NewOcean(workload.OceanParams{N: 66, FineIter: 3, CoarseIt: 2})
+	}
+	return workload.NewOcean(workload.OceanParams{})
+}
+
+func volpack(q bool) workload.Workload {
+	if q {
+		return workload.NewVolpack(workload.VolpackParams{Size: 32, Depth: 16})
+	}
+	return workload.NewVolpack(workload.VolpackParams{})
+}
+
+func ear(q bool) workload.Workload {
+	if q {
+		return workload.NewEar(workload.EarParams{Samples: 400})
+	}
+	return workload.NewEar(workload.EarParams{})
+}
+
+func fft(q bool) workload.Workload {
+	if q {
+		return workload.NewFFT(workload.FFTParams{N: 64, Batches: 16})
+	}
+	return workload.NewFFT(workload.FFTParams{})
+}
+
+func pmake(q bool) workload.Workload {
+	if q {
+		return workload.NewPmake(workload.PmakeParams{Procs: 6, Funcs: 48, Passes: 4})
+	}
+	return workload.NewPmake(workload.PmakeParams{})
+}
+
+func table1() {
+	fmt.Println("=== Table 1: CPU functional unit latencies (cycles) ===")
+	rows := []struct {
+		name string
+		op   isa.Op
+	}{
+		{"Integer ALU", isa.ADD},
+		{"Integer Multiply", isa.MUL},
+		{"Integer Divide", isa.DIV},
+		{"Branch", isa.BEQ},
+		{"Store", isa.SW},
+		{"SP Add/Sub", isa.FADDS},
+		{"SP Multiply", isa.FMULS},
+		{"SP Divide", isa.FDIVS},
+		{"DP Add/Sub", isa.FADDD},
+		{"DP Multiply", isa.FMULD},
+		{"DP Divide", isa.FDIVD},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-18s %2d\n", r.name, cpu.Latency(r.op))
+	}
+	fmt.Printf("  %-18s %s\n", "Load", "1 or 3 (memory system; shared-L1 pays 3 under MXS)")
+	fmt.Println()
+}
+
+func table2() {
+	fmt.Println("=== Table 2: contention-free access latencies (cycles, incl. 1-cycle L1 lookup) ===")
+	cfg := memsys.DefaultConfig()
+	type probeResult struct {
+		arch        string
+		l1, l2, mem uint64
+		c2c         uint64
+	}
+	results := []probeResult{}
+
+	// shared-L1 (simple CPU configuration: 1-cycle hit).
+	s1 := memsys.NewSharedL1(cfg)
+	r, _ := s1.Access(0, 0, 0x1000, false) // cold -> memory
+	memLat := r.Done
+	r, _ = s1.Access(1000, 0, 0x1000, false) // hit
+	l1Lat := r.Done - 1000
+	// L2 hit: evict from L1 via three conflicting fills.
+	for i, a := range []uint32{0x1000 + 32<<10, 0x1000 + 64<<10, 0x1000 + 96<<10} {
+		s1.Access(uint64(2000+200*i), 0, a, false)
+	}
+	r, _ = s1.Access(10000, 0, 0x1000, false)
+	results = append(results, probeResult{"shared-l1", l1Lat, r.Done - 10000, memLat, 0})
+
+	s2 := memsys.NewSharedL2(cfg)
+	r, _ = s2.Access(0, 0, 0x1000, false)
+	memLat = r.Done
+	r, _ = s2.Access(1000, 0, 0x1000, false)
+	l1Lat = r.Done - 1000
+	r, _ = s2.Access(2000, 1, 0x1000, false) // other CPU: L2 hit
+	results = append(results, probeResult{"shared-l2", l1Lat, r.Done - 2000, memLat, 0})
+
+	sm := memsys.NewSharedMem(cfg)
+	r, _ = sm.Access(0, 0, 0x1000, false)
+	memLat = r.Done
+	r, _ = sm.Access(1000, 0, 0x1000, false)
+	l1Lat = r.Done - 1000
+	r, _ = sm.Access(2000, 1, 0x1000, false) // remote copy: cache-to-cache
+	c2c := r.Done - 2000
+	// L2 hit: evict CPU1's L1 copy by filling its set, then re-read.
+	for i, a := range []uint32{0x1000 + 8<<10, 0x1000 + 16<<10} {
+		sm.Access(uint64(3000+200*i), 1, a, false)
+	}
+	r, _ = sm.Access(10000, 1, 0x1000, false)
+	results = append(results, probeResult{"shared-mem", l1Lat, r.Done - 10000, memLat, c2c})
+
+	fmt.Printf("  %-11s %6s %6s %6s %6s\n", "arch", "L1", "L2", "mem", "c2c")
+	for _, p := range results {
+		c2cs := "-"
+		if p.c2c > 0 {
+			c2cs = fmt.Sprint(p.c2c)
+		}
+		fmt.Printf("  %-11s %6d %6d %6d %6s\n", p.arch, p.l1, p.l2, p.mem, c2cs)
+	}
+	fmt.Println()
+}
+
+func runFigure(name string, mk func() workload.Workload, model core.CPUModel, cfg *memsys.Config) []stats.IPCRow {
+	runs := map[core.Arch]*core.RunResult{}
+	var ipcRows []stats.IPCRow
+	var wlName string
+	for _, a := range core.Arches() {
+		w := mk()
+		wlName = w.Name()
+		res, err := workload.Run(w, a, model, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s on %s: %v\n", name, a, err)
+			os.Exit(1)
+		}
+		runs[a] = res
+		ipcRows = append(ipcRows, stats.IPCBreakdown(res))
+	}
+	fig := stats.BuildFigure(name, wlName, model, runs)
+	fmt.Print(fig.String())
+	fmt.Print(fig.Chart())
+	fmt.Println()
+	return ipcRows
+}
+
+func mp3dAblation(q bool) {
+	fmt.Println("=== Section 4.1 ablation: MP3D shared-L1 with L2 associativity 1 vs 4 ===")
+	for _, assoc := range []uint32{1, 4} {
+		cfg := memsys.DefaultConfig()
+		cfg.L2Assoc = assoc
+		w := mp3d(q)
+		res, err := workload.Run(w, core.SharedL1, core.ModelMipsy, &cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  L2 %d-way: cycles=%-10d L2 miss rate=%5.1f%%  L1R=%5.1f%%\n",
+			assoc, res.Cycles, 100*res.MemReport.L2.MissRate(), 100*res.MemReport.L1D.ReplRate())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,134 @@
+// Package cmpsim is a from-scratch reproduction of the system studied in
+// "Evaluation of Design Alternatives for a Multiprocessor Microprocessor"
+// (Nayfeh, Hammond, Olukotun; ISCA 1996): an execution-driven simulator
+// for three four-processor architectures — shared-primary-cache,
+// shared-secondary-cache, and bus-based shared-memory — driven by two CPU
+// models (the simple in-order "Mipsy" and the 2-way out-of-order "MXS")
+// running the paper's seven workloads as real guest programs for a custom
+// MIPS-like ISA.
+//
+// This package is the public facade: it re-exports the user-facing types
+// from the internal packages so a downstream user can run workloads,
+// sweep configurations and collect the paper's figures without touching
+// simulator internals.
+//
+// Quick start:
+//
+//	w, _ := cmpsim.NewWorkload("eqntott")
+//	res, err := cmpsim.RunWorkload(w, cmpsim.SharedL1, cmpsim.ModelMipsy, nil)
+//	fmt.Println(res.Cycles, res.IPC())
+//
+// See examples/ for complete programs and cmd/experiments for the
+// harness that regenerates every table and figure of the paper.
+package cmpsim
+
+import (
+	"cmpsim/internal/core"
+	"cmpsim/internal/memsys"
+	"cmpsim/internal/stats"
+	"cmpsim/internal/workload"
+)
+
+// Arch selects one of the three architecture compositions of Section 2.
+type Arch = core.Arch
+
+// The three architectures under study.
+const (
+	SharedL1  = core.SharedL1  // shared 64KB L1 D-cache behind a crossbar
+	SharedL2  = core.SharedL2  // private write-through L1s, shared banked L2
+	SharedMem = core.SharedMem // private L1+L2 per CPU, snoopy bus
+)
+
+// Architectures returns the three architectures in the paper's order.
+func Architectures() []Arch { return core.Arches() }
+
+// CPUModel selects the processor simulator.
+type CPUModel = core.CPUModel
+
+// The two CPU models of Section 3.1.
+const (
+	ModelMipsy = core.ModelMipsy // in-order, 1-cycle results, blocking memory
+	ModelMXS   = core.ModelMXS   // 2-way dynamic superscalar, speculative, non-blocking
+)
+
+// Config carries every memory-system parameter (Table 2 latencies, cache
+// geometries, structural limits). DefaultConfig returns the paper's
+// values.
+type Config = memsys.Config
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config { return memsys.DefaultConfig() }
+
+// Machine is a composed simulated system (architecture + CPUs + memory +
+// guest programs). Most users never need it directly — RunWorkload
+// handles the lifecycle — but custom guest programs are loaded through
+// it; see examples/custom-workload.
+type Machine = core.Machine
+
+// NewMachine builds a bare machine for custom guest programs: pick an
+// architecture and CPU model, load programs with Machine.LoadProgram,
+// add hardware contexts with Machine.AddContext, then call Machine.Run.
+func NewMachine(arch Arch, model CPUModel, cfg Config, memBytes uint32) (*Machine, error) {
+	return core.NewMachine(arch, model, cfg, memBytes)
+}
+
+// Checkpoint captures a machine's functional state (memory image and
+// hardware contexts), following the paper's methodology: position a
+// workload once, then resume the identical state on each architecture.
+// Serialize with WriteCheckpoint/ReadCheckpoint; timing state restarts
+// cold, as in SimOS.
+type Checkpoint = core.Checkpoint
+
+// WriteCheckpoint serializes a checkpoint (gob, gzip-compressed).
+var WriteCheckpoint = core.WriteCheckpoint
+
+// ReadCheckpoint deserializes a checkpoint written by WriteCheckpoint.
+var ReadCheckpoint = core.ReadCheckpoint
+
+// Result summarizes a completed simulation run.
+type Result = core.RunResult
+
+// Workload is one of the paper's seven benchmarks (or a user-defined
+// one): it configures a machine and validates the guest's results
+// against a host-side reference implementation.
+type Workload = workload.Workload
+
+// Workloads lists the built-in workload names.
+func Workloads() []string { return workload.Names() }
+
+// NewWorkload returns a built-in workload with its paper-scale defaults:
+// "eqntott", "mp3d", "ocean", "volpack", "ear", "fft" or "pmake".
+func NewWorkload(name string) (Workload, error) { return workload.New(name) }
+
+// RunWorkload builds a machine for (workload, architecture, CPU model),
+// runs it to completion, validates the results against the workload's Go
+// reference, and returns the run statistics. cfg overrides the
+// memory-system parameters; nil uses the paper's defaults.
+func RunWorkload(w Workload, arch Arch, model CPUModel, cfg *Config) (*Result, error) {
+	return workload.Run(w, arch, model, cfg)
+}
+
+// Breakdown is the execution-time decomposition used by the paper's
+// per-application figures.
+type Breakdown = stats.Breakdown
+
+// BreakdownOf computes the execution-time decomposition of a run.
+func BreakdownOf(r *Result) Breakdown { return stats.FromRun(r) }
+
+// Figure is a reproduction of one of the paper's per-application
+// figures: the three architectures' breakdowns, normalized to the
+// shared-memory baseline.
+type Figure = stats.Figure
+
+// BuildFigure assembles a Figure from per-architecture runs (the
+// shared-memory run is required as the normalization baseline).
+func BuildFigure(name, workloadName string, model CPUModel, runs map[Arch]*Result) Figure {
+	return stats.BuildFigure(name, workloadName, model, runs)
+}
+
+// IPCRow is one bar of the paper's Figure 11: achieved per-CPU IPC and
+// the apportioned losses.
+type IPCRow = stats.IPCRow
+
+// IPCBreakdownOf computes a Figure 11 row from an MXS run.
+func IPCBreakdownOf(r *Result) IPCRow { return stats.IPCBreakdown(r) }

@@ -1,0 +1,47 @@
+// Archcompare reproduces one of the paper's per-application figures for
+// any built-in workload: it runs the workload on all three architectures
+// and prints the normalized execution-time breakdown and the
+// replacement/invalidation miss-rate components, exactly the quantities
+// the paper's bar charts encode.
+//
+//	go run ./examples/archcompare -workload mp3d
+//	go run ./examples/archcompare -workload ear -model mxs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cmpsim"
+)
+
+func main() {
+	name := flag.String("workload", "ocean", "one of the built-in workloads")
+	model := flag.String("model", "mipsy", "cpu model: mipsy or mxs")
+	flag.Parse()
+
+	runs := map[cmpsim.Arch]*cmpsim.Result{}
+	for _, arch := range cmpsim.Architectures() {
+		w, err := cmpsim.NewWorkload(*name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cmpsim.RunWorkload(w, arch, cmpsim.CPUModel(*model), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs[arch] = res
+	}
+	fig := cmpsim.BuildFigure("Architecture comparison", *name, cmpsim.CPUModel(*model), runs)
+	fmt.Print(fig.String())
+
+	if cmpsim.CPUModel(*model) == cmpsim.ModelMXS {
+		fmt.Println("\nIPC-loss breakdown (Figure 11 style, ideal per-CPU IPC = 2):")
+		for _, arch := range cmpsim.Architectures() {
+			row := cmpsim.IPCBreakdownOf(runs[arch])
+			fmt.Printf("  %-11s IPC=%.3f  lossI=%.3f  lossD=%.3f  lossPipe=%.3f\n",
+				arch, row.IPC, row.LossI, row.LossD, row.LossPipe)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Quickstart: run one workload on one architecture and print the
+// headline numbers. This is the smallest useful program against the
+// cmpsim public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmpsim"
+)
+
+func main() {
+	w, err := cmpsim.NewWorkload("eqntott")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cmpsim.RunWorkload(w, cmpsim.SharedL1, cmpsim.ModelMipsy, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := cmpsim.BreakdownOf(res)
+	fmt.Printf("workload   : %s on %s (%s model)\n", w.Name(), res.Arch, res.Model)
+	fmt.Printf("cycles     : %d\n", res.Cycles)
+	fmt.Printf("instructions: %d (aggregate IPC %.2f)\n", res.Instructions(), res.IPC())
+	fmt.Printf("time split : cpu %.0f%%  ifetch %.0f%%  memory %.0f%%\n",
+		100*b.CPU/b.Total, 100*b.IStall/b.Total, 100*b.MemStall()/b.Total)
+	fmt.Printf("L1D misses : %.2f%% of references (%.2f%% replacement, %.2f%% invalidation)\n",
+		100*res.MemReport.L1D.MissRate(),
+		100*res.MemReport.L1D.ReplRate(),
+		100*res.MemReport.L1D.InvRate())
+}

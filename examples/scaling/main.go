@@ -1,0 +1,51 @@
+// Scaling runs the CMP processor-count study the authors' earlier work
+// explored (ISCA '94): the same fixed-size workload on 1, 2, 4 and 8
+// processor machines of each architecture. Coarse-grained FFT scales
+// near-linearly; fine-grained ear shows how synchronization and the
+// serial fraction bound the achievable speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmpsim"
+	"cmpsim/internal/workload"
+)
+
+func main() {
+	for _, wl := range []struct {
+		name string
+		mk   func() cmpsim.Workload
+	}{
+		{"fft (coarse grain)", func() cmpsim.Workload { return workload.NewFFT(workload.FFTParams{}) }},
+		{"ear (fine grain)", func() cmpsim.Workload { return workload.NewEar(workload.EarParams{}) }},
+		{"ocean (boundary sharing)", func() cmpsim.Workload { return workload.NewOcean(workload.OceanParams{}) }},
+	} {
+		fmt.Printf("=== %s ===\n", wl.name)
+		fmt.Printf("%-11s", "arch")
+		counts := []int{1, 2, 4, 8}
+		for _, n := range counts {
+			fmt.Printf("  %4d CPU", n)
+		}
+		fmt.Println("   (speedup over 1 CPU)")
+		for _, arch := range cmpsim.Architectures() {
+			fmt.Printf("%-11s", arch)
+			var base float64
+			for _, n := range counts {
+				cfg := cmpsim.DefaultConfig()
+				cfg.NumCPUs = n
+				res, err := cmpsim.RunWorkload(wl.mk(), arch, cmpsim.ModelMipsy, &cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if base == 0 {
+					base = float64(res.Cycles)
+				}
+				fmt.Printf("  %7.2fx", base/float64(res.Cycles))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

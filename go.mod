@@ -1,0 +1,3 @@
+module cmpsim
+
+go 1.22

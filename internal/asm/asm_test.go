@@ -1,0 +1,263 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"cmpsim/internal/isa"
+	"cmpsim/internal/mem"
+)
+
+func TestLabelsAndBranches(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.LI(R1, 10) // one instruction (fits imm16)
+	b.Label("loop")
+	b.ADDI(R1, R1, -1)
+	b.BNEZ(R1, "loop")
+	b.J("done")
+	b.NOP()
+	b.Label("done")
+	b.HALT()
+
+	p, err := b.Assemble(0x1000, 0x8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr("start") != 0x1000 {
+		t.Errorf("start = %#x", p.Addr("start"))
+	}
+	if p.Addr("loop") != 0x1004 {
+		t.Errorf("loop = %#x", p.Addr("loop"))
+	}
+	// BNEZ at index 2 targets index 1: imm = 1 - 2 - 1 = -2.
+	if got := p.Insts[2].Imm; got != -2 {
+		t.Errorf("branch imm = %d, want -2", got)
+	}
+	// J at index 3 targets "done" (index 5): absolute index (0x1000/4)+5.
+	if got := p.Insts[3].Imm; got != int32(0x1000/4+5) {
+		t.Errorf("jump imm = %d", got)
+	}
+}
+
+func TestLIExpansions(t *testing.T) {
+	cases := []struct {
+		v     int32
+		insts int
+	}{
+		{0, 1},
+		{32767, 1},
+		{-32768, 1},
+		{32768, 2},      // LUI+ORI
+		{0x70000, 1},    // LUI only (low half zero)
+		{-1, 1},         // fits signed imm16 via ADDI
+		{0x12345678, 2}, // LUI+ORI
+	}
+	for _, c := range cases {
+		b := NewBuilder()
+		b.LI(R1, c.v)
+		b.HALT()
+		p, err := b.Assemble(0, 0x1000)
+		if err != nil {
+			t.Fatalf("LI(%d): %v", c.v, err)
+		}
+		if got := len(p.Insts) - 1; got != c.insts {
+			t.Errorf("LI(%d) used %d instructions, want %d", c.v, got, c.insts)
+		}
+	}
+}
+
+func TestLAResolvesDataLabel(t *testing.T) {
+	b := NewBuilder()
+	b.LA(R4, "table")
+	b.HALT()
+	b.DataLabel("table")
+	b.Word32(1, 2, 3)
+
+	p, err := b.Assemble(0x0, 0x20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr("table") != 0x20000 {
+		t.Fatalf("table = %#x", p.Addr("table"))
+	}
+	// LA expands to LUI (hi) + ORI (lo).
+	if p.Insts[0].Op != isa.LUI || uint16(p.Insts[0].Imm) != 0x2 {
+		t.Errorf("LUI = %v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.ORI || uint16(p.Insts[1].Imm) != 0x0 {
+		t.Errorf("ORI = %v", p.Insts[1])
+	}
+}
+
+func TestDataSection(t *testing.T) {
+	b := NewBuilder()
+	b.HALT()
+	b.DataLabel("bytes")
+	b.Zero(3)
+	b.AlignData(4) // labels mark the current position, so align first
+	b.DataLabel("words")
+	b.Word32(0xaabbccdd)
+	b.AlignData(8)
+	b.DataLabel("floats")
+	b.Float64(1.5)
+	b.WordSym("words")
+
+	p, err := b.Assemble(0, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr("words")%4 != 0 {
+		t.Errorf("words misaligned: %#x", p.Addr("words"))
+	}
+	if p.Addr("floats")%8 != 0 {
+		t.Errorf("floats misaligned: %#x", p.Addr("floats"))
+	}
+	img := mem.NewImage(0x20000)
+	p.Load(img, 0)
+	if got := img.Read32(p.Addr("words")); got != 0xaabbccdd {
+		t.Errorf("words = %#x", got)
+	}
+	if got := img.ReadF64(p.Addr("floats")); got != 1.5 {
+		t.Errorf("floats = %v", got)
+	}
+	// The WordSym cell holds the address of "words".
+	symCell := p.Addr("floats") + 8
+	if got := img.Read32(symCell); got != p.Addr("words") {
+		t.Errorf("WordSym cell = %#x, want %#x", got, p.Addr("words"))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	check := func(name string, build func(b *Builder), wantSub string) {
+		b := NewBuilder()
+		build(b)
+		_, err := b.Assemble(0, 0x1000)
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+			return
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+	check("undefined label", func(b *Builder) { b.J("nowhere") }, "undefined label")
+	check("duplicate label", func(b *Builder) { b.Label("x"); b.Label("x") }, "duplicate")
+	check("duplicate across sections", func(b *Builder) { b.Label("x"); b.DataLabel("x") }, "duplicate")
+	check("imm overflow", func(b *Builder) { b.ADDI(R1, R0, 40000) }, "16-bit")
+	check("bad prologue", func(b *Builder) { b.Prologue(12) }, "multiple of 8")
+	check("bad align", func(b *Builder) { b.AlignData(3) }, "power of two")
+
+	b := NewBuilder()
+	b.NOP()
+	if _, err := b.Assemble(2, 0x1000); err == nil {
+		t.Error("unaligned text base: expected error")
+	}
+	b2 := NewBuilder()
+	b2.NOP()
+	b2.NOP()
+	if _, err := b2.Assemble(0, 4); err == nil {
+		t.Error("data overlapping text: expected error")
+	}
+}
+
+func TestEncodedWordsMatchInsts(t *testing.T) {
+	b := NewBuilder()
+	b.Label("f")
+	b.Prologue(16)
+	b.ADDI(R8, R0, 5)
+	b.JAL("f")
+	b.Epilogue(16)
+	p, err := b.Assemble(0x4000, 0x8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range p.Words {
+		in, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("inst %d: %v", i, err)
+		}
+		if in != p.Insts[i] {
+			t.Errorf("inst %d: decoded %v, assembled %v", i, in, p.Insts[i])
+		}
+	}
+}
+
+func TestProgramLoadWithBias(t *testing.T) {
+	b := NewBuilder()
+	b.LI(R1, 7)
+	b.HALT()
+	b.DataLabel("d")
+	b.Word32(99)
+	p := b.MustAssemble(0, 0x100)
+
+	img := mem.NewImage(0x10000)
+	const bias = 0x4000
+	p.Load(img, bias)
+	// Text loaded at bias.
+	in, err := isa.Decode(isa.Word(img.Read32(bias)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.ADDI || in.Imm != 7 {
+		t.Errorf("first inst = %v", in)
+	}
+	if got := img.Read32(bias + 0x100); got != 99 {
+		t.Errorf("data at bias = %d", got)
+	}
+}
+
+func TestLabelsListing(t *testing.T) {
+	b := NewBuilder()
+	b.Label("zz")
+	b.NOP()
+	b.DataLabel("aa")
+	p := b.MustAssemble(0, 0x1000)
+	labels := p.Labels()
+	if len(labels) != 2 || labels[0] != "aa" || labels[1] != "zz" {
+		t.Errorf("Labels = %v", labels)
+	}
+	if !p.HasLabel("zz") || p.HasLabel("qq") {
+		t.Error("HasLabel wrong")
+	}
+}
+
+func TestTextEndDataEnd(t *testing.T) {
+	b := NewBuilder()
+	b.NOP()
+	b.NOP()
+	b.Zero(10)
+	p := b.MustAssemble(0x1000, 0x2000)
+	if p.TextEnd() != 0x1008 {
+		t.Errorf("TextEnd = %#x", p.TextEnd())
+	}
+	if p.DataEnd() != 0x200a {
+		t.Errorf("DataEnd = %#x", p.DataEnd())
+	}
+}
+
+func TestListingAnnotatesLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.LI(R1, 1)
+	b.Label("loop")
+	b.ADDI(R1, R1, -1)
+	b.BNEZ(R1, "loop")
+	b.HALT()
+	p := b.MustAssemble(0x1000, 0x2000)
+	l := p.Listing()
+	for _, want := range []string{"start:", "loop:", "00001000:", "halt"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("listing missing %q:\n%s", want, l)
+		}
+	}
+	// Data labels must not appear in the text listing.
+	b2 := NewBuilder()
+	b2.Label("t")
+	b2.NOP()
+	b2.DataLabel("d")
+	b2.Word32(1)
+	if l2 := b2.MustAssemble(0, 0x1000).Listing(); strings.Contains(l2, "d:") {
+		t.Errorf("data label leaked into the text listing:\n%s", l2)
+	}
+}

@@ -1,0 +1,70 @@
+package cache
+
+// MSHRFile models the miss-status holding registers of a non-blocking
+// cache (Kroft-style). Each entry tracks one outstanding line miss, the
+// cycle at which its fill completes, and an opaque caller tag (the
+// memory system stores the service level there so that merged secondary
+// misses attribute their stall to the right place). Secondary misses to
+// the same line merge into the existing entry.
+type MSHRFile struct {
+	max     int
+	entries map[uint32]mshrEntry
+}
+
+type mshrEntry struct {
+	done uint64
+	tag  uint8
+}
+
+// NewMSHRFile returns an MSHR file with capacity max (the paper's CPUs
+// support four outstanding misses).
+func NewMSHRFile(max int) *MSHRFile {
+	return &MSHRFile{max: max, entries: make(map[uint32]mshrEntry, max)}
+}
+
+// reap drops entries whose fills have completed by now.
+func (m *MSHRFile) reap(now uint64) {
+	for la, e := range m.entries {
+		if e.done <= now {
+			delete(m.entries, la)
+		}
+	}
+}
+
+// Outstanding returns the number of in-flight misses at cycle now.
+func (m *MSHRFile) Outstanding(now uint64) int {
+	m.reap(now)
+	return len(m.entries)
+}
+
+// Full reports whether a new (non-merging) miss would be refused at now.
+func (m *MSHRFile) Full(now uint64) bool {
+	return m.Outstanding(now) >= m.max
+}
+
+// Lookup reports whether lineAddr has an in-flight miss, and if so when
+// it completes and with which caller tag.
+func (m *MSHRFile) Lookup(now uint64, lineAddr uint32) (done uint64, tag uint8, merged bool) {
+	m.reap(now)
+	e, ok := m.entries[lineAddr]
+	return e.done, e.tag, ok
+}
+
+// Allocate records a new outstanding miss for lineAddr completing at
+// done. It reports false if all MSHRs are busy, in which case the
+// requester must stall and retry. A second Allocate for an in-flight
+// line merges, keeping the earlier completion.
+func (m *MSHRFile) Allocate(now uint64, lineAddr uint32, done uint64, tag uint8) bool {
+	m.reap(now)
+	if e, ok := m.entries[lineAddr]; ok {
+		if done < e.done {
+			m.entries[lineAddr] = mshrEntry{done: done, tag: tag}
+		}
+		return true
+	}
+	if len(m.entries) >= m.max {
+		return false
+	}
+	m.entries[lineAddr] = mshrEntry{done: done, tag: tag}
+	return true
+}

@@ -1,0 +1,219 @@
+// Package coherence implements the two cache-coherence mechanisms of the
+// paper's architectures: a MESI bus-snooping protocol for the
+// shared-memory multiprocessor (private L1 + private L2 per CPU), and a
+// write-through invalidate directory for the shared-L2 multiprocessor
+// (one directory entry per shared-L2 line, Section 2.3).
+//
+// The protocol engines manipulate cache *state* only; the memory-system
+// compositions (package memsys) translate protocol outcomes (remote
+// dirty supplier, invalidations sent, ...) into cycles.
+package coherence
+
+import "cmpsim/internal/cache"
+
+// Node is one CPU's private cache hierarchy in the snoopy system.
+type Node struct {
+	L1 *cache.Cache
+	L2 *cache.Cache
+}
+
+// SnoopStats counts protocol events.
+type SnoopStats struct {
+	ReadMissesSnooped  uint64
+	WriteMissesSnooped uint64
+	Upgrades           uint64
+	InvalidationsSent  uint64
+	CacheToCache       uint64 // transactions supplied by a remote cache
+}
+
+// Snoop is a MESI bus-snooping protocol over a set of nodes. L2 is
+// inclusive of L1: any coherence action on L2 is mirrored into L1.
+type Snoop struct {
+	nodes []Node
+	stats SnoopStats
+}
+
+// NewSnoop builds a snooping domain over the given nodes.
+func NewSnoop(nodes []Node) *Snoop {
+	return &Snoop{nodes: nodes}
+}
+
+// Stats returns a copy of the protocol counters.
+func (s *Snoop) Stats() SnoopStats { return s.stats }
+
+// SnoopResult reports what a bus transaction found in remote caches.
+type SnoopResult struct {
+	RemoteDirty bool // a remote cache held the line Modified (it supplies the data)
+	RemoteCopy  bool // at least one remote cache held the line in any state
+	Invalidated int  // remote lines invalidated by this transaction
+}
+
+// Read handles a BusRd issued by cpu after missing in its own hierarchy.
+// Remote Modified/Exclusive copies are downgraded to Shared. The caller
+// fills the requester in Shared if RemoteCopy, else Exclusive.
+func (s *Snoop) Read(cpu int, addr uint32) SnoopResult {
+	s.stats.ReadMissesSnooped++
+	var r SnoopResult
+	for i := range s.nodes {
+		if i == cpu {
+			continue
+		}
+		n := s.nodes[i]
+		if ln := n.L2.Probe(addr); ln != nil {
+			r.RemoteCopy = true
+			if _, wasDirty := n.L2.Downgrade(addr); wasDirty {
+				r.RemoteDirty = true
+			}
+		}
+		if ln := n.L1.Probe(addr); ln != nil {
+			r.RemoteCopy = true
+			if _, wasDirty := n.L1.Downgrade(addr); wasDirty {
+				r.RemoteDirty = true
+			}
+		}
+	}
+	if r.RemoteDirty || r.RemoteCopy {
+		s.stats.CacheToCache++
+	}
+	return r
+}
+
+// Write handles a BusRdX issued by cpu (write miss) — remote copies are
+// invalidated; a remote Modified copy supplies the data cache-to-cache.
+func (s *Snoop) Write(cpu int, addr uint32) SnoopResult {
+	s.stats.WriteMissesSnooped++
+	r := s.invalidateRemote(cpu, addr)
+	if r.RemoteDirty {
+		s.stats.CacheToCache++
+	}
+	return r
+}
+
+// Upgrade handles a BusUpgr issued by cpu, which holds the line Shared
+// and wants to write it. Remote Shared copies are invalidated; no data
+// transfer is needed.
+func (s *Snoop) Upgrade(cpu int, addr uint32) SnoopResult {
+	s.stats.Upgrades++
+	return s.invalidateRemote(cpu, addr)
+}
+
+func (s *Snoop) invalidateRemote(cpu int, addr uint32) SnoopResult {
+	var r SnoopResult
+	for i := range s.nodes {
+		if i == cpu {
+			continue
+		}
+		n := s.nodes[i]
+		if present, dirty := n.L2.Invalidate(addr); present {
+			r.RemoteCopy = true
+			r.Invalidated++
+			if dirty {
+				r.RemoteDirty = true
+			}
+		}
+		if present, dirty := n.L1.Invalidate(addr); present {
+			r.RemoteCopy = true
+			r.Invalidated++
+			if dirty {
+				r.RemoteDirty = true
+			}
+		}
+	}
+	s.stats.InvalidationsSent += uint64(r.Invalidated)
+	return r
+}
+
+// --- Write-through invalidate directory (shared-L2 architecture) ---
+
+// DirStats counts directory events.
+type DirStats struct {
+	Invalidations   uint64 // L1 lines invalidated by remote writes
+	InclusionEvicts uint64 // L1 lines removed because L2 evicted the line
+}
+
+// Directory tracks, for each shared-L2 line, which CPUs' write-through
+// L1 caches hold a copy. On a write by one CPU all other sharers are
+// invalidated (Section 2.3: "When there is a change to a cache line
+// caused by a write or a replacement all processors caching the line
+// must receive invalidates").
+type Directory struct {
+	l1s     []*cache.Cache
+	sharers map[uint32]uint16 // line address -> CPU bitmask
+	stats   DirStats
+}
+
+// NewDirectory builds a directory over the write-through L1 caches.
+func NewDirectory(l1s []*cache.Cache) *Directory {
+	return &Directory{l1s: l1s, sharers: make(map[uint32]uint16)}
+}
+
+// Stats returns a copy of the directory counters.
+func (d *Directory) Stats() DirStats { return d.stats }
+
+// Sharers returns the current sharer bitmask of a line.
+func (d *Directory) Sharers(lineAddr uint32) uint16 { return d.sharers[lineAddr] }
+
+// AddSharer records that cpu's L1 now holds lineAddr.
+func (d *Directory) AddSharer(lineAddr uint32, cpu int) {
+	d.sharers[lineAddr] |= 1 << uint(cpu)
+}
+
+// DropSharer records that cpu's L1 no longer holds lineAddr (the L1
+// replaced it on its own).
+func (d *Directory) DropSharer(lineAddr uint32, cpu int) {
+	if m, ok := d.sharers[lineAddr]; ok {
+		m &^= 1 << uint(cpu)
+		if m == 0 {
+			delete(d.sharers, lineAddr)
+		} else {
+			d.sharers[lineAddr] = m
+		}
+	}
+}
+
+// Write handles a write-through by cpu to lineAddr: every other sharer's
+// L1 copy is invalidated (counted as a coherence invalidation, so later
+// misses on the line classify as invalidation misses). Returns the
+// number of L1 invalidations performed.
+func (d *Directory) Write(lineAddr uint32, cpu int) int {
+	m := d.sharers[lineAddr]
+	inv := 0
+	for i := range d.l1s {
+		if i == cpu || m&(1<<uint(i)) == 0 {
+			continue
+		}
+		if present, _ := d.l1s[i].Invalidate(lineAddr); present {
+			inv++
+		}
+	}
+	// Only the writer (if it held the line) remains a sharer.
+	if m&(1<<uint(cpu)) != 0 {
+		d.sharers[lineAddr] = 1 << uint(cpu)
+	} else {
+		delete(d.sharers, lineAddr)
+	}
+	d.stats.Invalidations += uint64(inv)
+	return inv
+}
+
+// L2Evict handles the shared L2 replacing lineAddr: inclusion forces all
+// L1 copies out. These removals are *not* classified as coherence
+// invalidations (they are a capacity/conflict effect of the L2).
+func (d *Directory) L2Evict(lineAddr uint32) int {
+	m, ok := d.sharers[lineAddr]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for i := range d.l1s {
+		if m&(1<<uint(i)) == 0 {
+			continue
+		}
+		if present, _ := d.l1s[i].EvictForInclusion(lineAddr); present {
+			n++
+		}
+	}
+	delete(d.sharers, lineAddr)
+	d.stats.InclusionEvicts += uint64(n)
+	return n
+}

@@ -1,0 +1,181 @@
+package coherence
+
+import (
+	"testing"
+
+	"cmpsim/internal/cache"
+)
+
+func newNode() Node {
+	return Node{
+		L1: cache.New(cache.Config{Name: "l1", SizeBytes: 256, LineBytes: 32, Assoc: 2}),
+		L2: cache.New(cache.Config{Name: "l2", SizeBytes: 1024, LineBytes: 32, Assoc: 2}),
+	}
+}
+
+func newSnoop(n int) (*Snoop, []Node) {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = newNode()
+	}
+	return NewSnoop(nodes), nodes
+}
+
+func TestSnoopReadDowngradesRemoteDirty(t *testing.T) {
+	s, nodes := newSnoop(2)
+	nodes[1].L2.Fill(0x100, cache.Modified)
+	nodes[1].L1.Fill(0x100, cache.Modified)
+	r := s.Read(0, 0x100)
+	if !r.RemoteDirty || !r.RemoteCopy {
+		t.Fatalf("result = %+v", r)
+	}
+	if nodes[1].L2.Probe(0x100).State != cache.Shared {
+		t.Error("remote L2 not downgraded")
+	}
+	if nodes[1].L1.Probe(0x100).State != cache.Shared {
+		t.Error("remote L1 not downgraded")
+	}
+	if s.Stats().CacheToCache != 1 {
+		t.Errorf("c2c = %d", s.Stats().CacheToCache)
+	}
+}
+
+func TestSnoopReadCleanRemote(t *testing.T) {
+	s, nodes := newSnoop(3)
+	nodes[2].L2.Fill(0x100, cache.Exclusive)
+	r := s.Read(0, 0x100)
+	if r.RemoteDirty || !r.RemoteCopy {
+		t.Fatalf("result = %+v", r)
+	}
+	if nodes[2].L2.Probe(0x100).State != cache.Shared {
+		t.Error("remote E not downgraded to S")
+	}
+}
+
+func TestSnoopReadNoRemote(t *testing.T) {
+	s, _ := newSnoop(4)
+	r := s.Read(1, 0x200)
+	if r.RemoteCopy || r.RemoteDirty || r.Invalidated != 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestSnoopWriteInvalidatesAll(t *testing.T) {
+	s, nodes := newSnoop(4)
+	nodes[1].L2.Fill(0x100, cache.Shared)
+	nodes[1].L1.Fill(0x100, cache.Shared)
+	nodes[2].L2.Fill(0x100, cache.Modified)
+	r := s.Write(0, 0x100)
+	if !r.RemoteDirty || r.Invalidated != 3 {
+		t.Fatalf("result = %+v", r)
+	}
+	if nodes[1].L2.Probe(0x100) != nil || nodes[1].L1.Probe(0x100) != nil || nodes[2].L2.Probe(0x100) != nil {
+		t.Error("remote copies survived BusRdX")
+	}
+	// Invalidation-miss classification: node 1's next L1 miss on the line
+	// must be an invalidation miss.
+	res := nodes[1].L1.Access(0x100, false)
+	if res.Hit || !res.InvMiss {
+		t.Errorf("expected invalidation miss, got %+v", res)
+	}
+}
+
+func TestSnoopUpgrade(t *testing.T) {
+	s, nodes := newSnoop(2)
+	nodes[0].L1.Fill(0x100, cache.Shared)
+	nodes[1].L1.Fill(0x100, cache.Shared)
+	r := s.Upgrade(0, 0x100)
+	if r.Invalidated != 1 || r.RemoteDirty {
+		t.Fatalf("result = %+v", r)
+	}
+	if nodes[1].L1.Probe(0x100) != nil {
+		t.Error("remote S copy survived upgrade")
+	}
+	if nodes[0].L1.Probe(0x100) == nil {
+		t.Error("upgrader's own copy was invalidated")
+	}
+	if s.Stats().Upgrades != 1 || s.Stats().InvalidationsSent != 1 {
+		t.Errorf("stats = %+v", s.Stats())
+	}
+}
+
+func newDir(n int) (*Directory, []*cache.Cache) {
+	l1s := make([]*cache.Cache, n)
+	for i := range l1s {
+		l1s[i] = cache.New(cache.Config{Name: "l1", SizeBytes: 256, LineBytes: 32, Assoc: 2})
+	}
+	return NewDirectory(l1s), l1s
+}
+
+func TestDirectoryWriteInvalidatesOtherSharers(t *testing.T) {
+	d, l1s := newDir(4)
+	for i := 0; i < 3; i++ {
+		l1s[i].Fill(0x100, cache.Shared)
+		d.AddSharer(0x100, i)
+	}
+	inv := d.Write(0x100, 0)
+	if inv != 2 {
+		t.Fatalf("invalidated %d, want 2", inv)
+	}
+	if l1s[0].Probe(0x100) == nil {
+		t.Error("writer's own copy removed")
+	}
+	if l1s[1].Probe(0x100) != nil || l1s[2].Probe(0x100) != nil {
+		t.Error("other sharers survived")
+	}
+	if d.Sharers(0x100) != 1 {
+		t.Errorf("sharers = %b", d.Sharers(0x100))
+	}
+	// Subsequent miss by a victim classifies as invalidation miss.
+	res := l1s[1].Access(0x100, false)
+	if res.Hit || !res.InvMiss {
+		t.Errorf("expected invalidation miss, got %+v", res)
+	}
+}
+
+func TestDirectoryWriteByNonSharer(t *testing.T) {
+	d, l1s := newDir(2)
+	l1s[1].Fill(0x100, cache.Shared)
+	d.AddSharer(0x100, 1)
+	inv := d.Write(0x100, 0) // CPU 0 writes without holding the line
+	if inv != 1 {
+		t.Fatalf("invalidated %d, want 1", inv)
+	}
+	if d.Sharers(0x100) != 0 {
+		t.Errorf("sharers = %b, want empty", d.Sharers(0x100))
+	}
+}
+
+func TestDirectoryL2EvictIsNotInvalidationMiss(t *testing.T) {
+	d, l1s := newDir(2)
+	l1s[0].Fill(0x100, cache.Shared)
+	d.AddSharer(0x100, 0)
+	n := d.L2Evict(0x100)
+	if n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	res := l1s[0].Access(0x100, false)
+	if res.Hit || res.InvMiss {
+		t.Errorf("expected replacement miss, got %+v", res)
+	}
+	if d.Sharers(0x100) != 0 {
+		t.Error("directory entry survived eviction")
+	}
+	if d.Stats().InclusionEvicts != 1 {
+		t.Errorf("stats = %+v", d.Stats())
+	}
+}
+
+func TestDirectoryDropSharer(t *testing.T) {
+	d, _ := newDir(3)
+	d.AddSharer(0x40, 0)
+	d.AddSharer(0x40, 2)
+	d.DropSharer(0x40, 0)
+	if d.Sharers(0x40) != 1<<2 {
+		t.Errorf("sharers = %b", d.Sharers(0x40))
+	}
+	d.DropSharer(0x40, 2)
+	if d.Sharers(0x40) != 0 {
+		t.Error("sharer mask not cleaned up")
+	}
+}

@@ -1,0 +1,338 @@
+// Package core is the top-level simulator: it composes a memory-system
+// architecture, a set of CPU models, the loaded guest programs and the
+// trap handler into a Machine, runs the cycle loop to completion, and
+// produces the statistics that the experiment harness turns into the
+// paper's figures.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cmpsim/internal/asm"
+	"cmpsim/internal/cpu"
+	"cmpsim/internal/cpu/mipsy"
+	"cmpsim/internal/event"
+	"cmpsim/internal/isa"
+	"cmpsim/internal/mem"
+	"cmpsim/internal/memsys"
+)
+
+// Arch identifies one of the three architecture compositions.
+type Arch string
+
+const (
+	SharedL1  Arch = "shared-l1"
+	SharedL2  Arch = "shared-l2"
+	SharedMem Arch = "shared-mem"
+)
+
+// Arches lists the three architectures in the paper's presentation order
+// (the shared-memory machine is the normalization baseline).
+func Arches() []Arch { return []Arch{SharedL1, SharedL2, SharedMem} }
+
+// NewSystem builds the memory system for an architecture.
+func NewSystem(a Arch, cfg memsys.Config) (memsys.System, error) {
+	switch a {
+	case SharedL1:
+		return memsys.NewSharedL1(cfg), nil
+	case SharedL2:
+		return memsys.NewSharedL2(cfg), nil
+	case SharedMem:
+		return memsys.NewSharedMem(cfg), nil
+	}
+	return nil, fmt.Errorf("core: unknown architecture %q", a)
+}
+
+// Core is a CPU model instance driven by the cycle loop.
+type Core interface {
+	Tick(now uint64)
+	Done() bool
+	Stats() cpu.StallStats
+	Context() *cpu.Context
+	FlushFetchBuffer()
+}
+
+// codeEntry is one loaded program's decoded text.
+type codeEntry struct {
+	base  uint32
+	end   uint32
+	insts []isa.Inst
+}
+
+// CodeRegistry resolves physical addresses to decoded instructions over
+// all loaded programs. Lookups cache the last entry hit, which covers
+// almost every fetch thanks to code locality.
+type CodeRegistry struct {
+	entries []codeEntry
+	last    int
+}
+
+// Register adds p's text, relocated by physBias, to the registry.
+func (r *CodeRegistry) Register(p *asm.Program, physBias uint32) {
+	e := codeEntry{
+		base:  physBias + p.TextBase,
+		end:   physBias + p.TextEnd(),
+		insts: p.Insts,
+	}
+	r.entries = append(r.entries, e)
+	sort.Slice(r.entries, func(i, j int) bool { return r.entries[i].base < r.entries[j].base })
+	r.last = 0
+}
+
+// Dump writes a disassembly listing of every registered program region
+// to w: one line per instruction with its physical address.
+func (r *CodeRegistry) Dump(w io.Writer) {
+	for _, e := range r.entries {
+		fmt.Fprintf(w, "; region %#08x..%#08x (%d instructions)\n", e.base, e.end, len(e.insts))
+		for i, in := range e.insts {
+			fmt.Fprintf(w, "%08x:  %s\n", e.base+uint32(4*i), in)
+		}
+	}
+}
+
+// InstAt implements cpu.CodeSource.
+func (r *CodeRegistry) InstAt(paddr uint32) (isa.Inst, bool) {
+	if r.last < len(r.entries) {
+		if e := &r.entries[r.last]; paddr >= e.base && paddr < e.end {
+			return e.insts[(paddr-e.base)/4], true
+		}
+	}
+	for i := range r.entries {
+		e := &r.entries[i]
+		if paddr >= e.base && paddr < e.end {
+			r.last = i
+			return e.insts[(paddr-e.base)/4], true
+		}
+	}
+	return isa.Inst{}, false
+}
+
+// CPUModel selects the CPU simulator.
+type CPUModel string
+
+const (
+	ModelMipsy CPUModel = "mipsy"
+	ModelMXS   CPUModel = "mxs"
+)
+
+// Machine is a fully composed simulated system.
+type Machine struct {
+	Arch  Arch
+	Cfg   memsys.Config
+	Img   *mem.Image
+	Sys   memsys.System
+	Code  *CodeRegistry
+	Trap  cpu.TrapHandler
+	CPUs  []Core
+	Model CPUModel
+
+	// Events is the machine's discrete-event calendar; events fire at
+	// the top of their cycle, before any CPU ticks. The guest kernel
+	// uses it for preemption timers.
+	Events event.Queue
+	irq    []bool
+
+	// NewCore builds a CPU for the machine; set by the model selection in
+	// NewMachine and used by AddContext.
+	newCore func(id int, ctx *cpu.Context) Core
+}
+
+// RaiseIRQ asserts the external interrupt line of a CPU; the CPU takes
+// the interrupt at its next instruction boundary (Mipsy) or after
+// draining its pipeline (MXS).
+func (m *Machine) RaiseIRQ(cpuID int) { m.irq[cpuID] = true }
+
+// PendingInterrupt implements cpu.InterruptSource.
+func (m *Machine) PendingInterrupt(cpuID int) bool { return m.irq[cpuID] }
+
+// AckInterrupt implements cpu.InterruptSource.
+func (m *Machine) AckInterrupt(cpuID int) { m.irq[cpuID] = false }
+
+// interruptible is implemented by CPU models that poll an external
+// interrupt line.
+type interruptible interface {
+	SetInterruptSource(cpu.InterruptSource)
+}
+
+// NewMachine builds a machine with the given architecture, memory-system
+// configuration, CPU model and physical memory size. Contexts are added
+// with AddContext; programs with LoadProgram.
+func NewMachine(a Arch, model CPUModel, cfg memsys.Config, memBytes uint32) (*Machine, error) {
+	if model == ModelMXS {
+		cfg = cfg.MXS()
+	}
+	sys, err := NewSystem(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Arch:  a,
+		Cfg:   cfg,
+		Img:   mem.NewImage(memBytes),
+		Sys:   sys,
+		Code:  &CodeRegistry{},
+		Trap:  cpu.NopTrap{},
+		Model: model,
+		irq:   make([]bool, cfg.NumCPUs),
+	}
+	switch model {
+	case ModelMipsy:
+		m.newCore = func(id int, ctx *cpu.Context) Core {
+			return mipsy.New(id, ctx, m.Sys, m.Code, m.Trap, m.Img, cfg.LineBytes)
+		}
+	case ModelMXS:
+		if newMXSCore == nil {
+			return nil, fmt.Errorf("core: MXS model not linked")
+		}
+		m.newCore = func(id int, ctx *cpu.Context) Core {
+			return newMXSCore(id, ctx, m, cfg)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown CPU model %q", model)
+	}
+	return m, nil
+}
+
+// newMXSCore is set by the mxs glue file; separated so the core package
+// compiles while the detailed model is plugged in.
+var newMXSCore func(id int, ctx *cpu.Context, m *Machine, cfg memsys.Config) Core
+
+// SetTrapHandler installs the guest kernel's trap handler. Must be
+// called before AddContext so the CPUs capture it.
+func (m *Machine) SetTrapHandler(t cpu.TrapHandler) { m.Trap = t }
+
+// sharedDataSetter is implemented by memory systems with a per-region
+// L1 write policy (the shared-L2 architecture).
+type sharedDataSetter interface {
+	SetSharedData(func(addr uint32) bool)
+}
+
+// SetSharedData declares which physical addresses hold shared data (the
+// rest is thread-private). Architectures without a per-region policy
+// ignore it.
+func (m *Machine) SetSharedData(f func(addr uint32) bool) {
+	if s, ok := m.Sys.(sharedDataSetter); ok {
+		s.SetSharedData(f)
+	}
+}
+
+// LoadProgram writes p into physical memory at physBias and registers
+// its text for instruction fetch.
+func (m *Machine) LoadProgram(p *asm.Program, physBias uint32) {
+	p.Load(m.Img, physBias)
+	m.Code.Register(p, physBias)
+}
+
+// LoadText loads and registers only p's text at physBias — for programs
+// whose text is shared by several processes while each has a private
+// copy of the data section (loaded with p.LoadDataAt).
+func (m *Machine) LoadText(p *asm.Program, physBias uint32) {
+	p.LoadText(m.Img, physBias)
+	m.Code.Register(p, physBias)
+}
+
+// AddContext creates a CPU (with the machine's model) running ctx.
+func (m *Machine) AddContext(ctx *cpu.Context) Core {
+	c := m.newCore(len(m.CPUs), ctx)
+	if i, ok := c.(interruptible); ok {
+		i.SetInterruptSource(m)
+	}
+	m.CPUs = append(m.CPUs, c)
+	return c
+}
+
+// RunResult summarizes a completed simulation.
+type RunResult struct {
+	Arch      Arch
+	Model     CPUModel
+	Cycles    uint64
+	PerCPU    []cpu.StallStats
+	MemReport memsys.Report
+}
+
+// Instructions returns total instructions executed across all CPUs.
+func (r *RunResult) Instructions() uint64 {
+	var t uint64
+	for _, s := range r.PerCPU {
+		t += s.Instructions
+	}
+	return t
+}
+
+// IPC returns aggregate instructions per cycle across all CPUs.
+func (r *RunResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions()) / float64(r.Cycles)
+}
+
+// RunWindow advances the machine from cycle start for at most n cycles.
+// It returns the first cycle not executed, whether every CPU has halted,
+// and any guest fault. CPU service order rotates each cycle so no
+// processor gets a standing arbitration advantage.
+func (m *Machine) RunWindow(start, n uint64) (next uint64, halted bool, err error) {
+	if len(m.CPUs) == 0 {
+		return start, false, fmt.Errorf("core: machine has no CPUs")
+	}
+	cpus := len(m.CPUs)
+	cyc := start
+	for ; cyc < start+n; cyc++ {
+		m.Events.RunUntil(cyc)
+		alive := false
+		off := int(cyc) % cpus
+		for i := 0; i < cpus; i++ {
+			c := m.CPUs[(i+off)%cpus]
+			if c.Done() {
+				continue
+			}
+			alive = true
+			c.Tick(cyc)
+		}
+		if !alive {
+			break
+		}
+	}
+	for _, c := range m.CPUs {
+		if f := c.Context().Fault; f != "" {
+			return cyc, false, fmt.Errorf("core: cpu fault: %s", f)
+		}
+	}
+	allHalted := true
+	for _, c := range m.CPUs {
+		if !c.Done() {
+			allHalted = false
+			break
+		}
+	}
+	return cyc, allHalted, nil
+}
+
+// Run executes the cycle loop until every CPU halts, any context
+// faults, or maxCycles elapses.
+func (m *Machine) Run(maxCycles uint64) (*RunResult, error) {
+	cyc, halted, err := m.RunWindow(0, maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	if !halted {
+		return nil, fmt.Errorf("core: simulation exceeded %d cycles", maxCycles)
+	}
+	return m.Result(cyc), nil
+}
+
+// Result assembles the run statistics at the given completion cycle.
+func (m *Machine) Result(cycles uint64) *RunResult {
+	res := &RunResult{
+		Arch:      m.Arch,
+		Model:     m.Model,
+		Cycles:    cycles,
+		MemReport: m.Sys.Report(),
+	}
+	for _, c := range m.CPUs {
+		res.PerCPU = append(res.PerCPU, c.Stats())
+	}
+	return res
+}

@@ -1,0 +1,13 @@
+package core
+
+import (
+	"cmpsim/internal/cpu"
+	"cmpsim/internal/cpu/mxs"
+	"cmpsim/internal/memsys"
+)
+
+func init() {
+	newMXSCore = func(id int, ctx *cpu.Context, m *Machine, cfg memsys.Config) Core {
+		return mxs.New(id, ctx, m.Sys, m.Code, m.Trap, m.Img, cfg.LineBytes)
+	}
+}

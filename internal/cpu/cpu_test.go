@@ -1,0 +1,193 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cmpsim/internal/isa"
+)
+
+func TestTable1Latencies(t *testing.T) {
+	// Table 1 of the paper, exactly.
+	cases := []struct {
+		op  isa.Op
+		lat uint64
+	}{
+		{isa.ADD, 1}, // integer ALU
+		{isa.AND, 1},
+		{isa.MUL, 2},    // integer multiply
+		{isa.DIV, 12},   // integer divide
+		{isa.BEQ, 2},    // branch
+		{isa.SW, 1},     // store
+		{isa.FADDS, 2},  // SP add/sub
+		{isa.FMULS, 2},  // SP multiply
+		{isa.FDIVS, 12}, // SP divide
+		{isa.FADDD, 2},  // DP add/sub
+		{isa.FMULD, 2},  // DP multiply
+		{isa.FDIVD, 18}, // DP divide
+	}
+	for _, c := range cases {
+		if got := Latency(c.op); got != c.lat {
+			t.Errorf("Latency(%v) = %d, want %d", c.op, got, c.lat)
+		}
+	}
+}
+
+func TestFUClassesAndCopies(t *testing.T) {
+	if ClassOf(isa.LW) != FUMem || ClassOf(isa.SW) != FUMem {
+		t.Error("memory ops must use the memory port")
+	}
+	if FUMem.Copies() != 1 {
+		t.Error("exactly one memory data port (Section 2.1)")
+	}
+	if FUIntALU.Copies() != 2 || FUFPDiv.Copies() != 2 {
+		t.Error("two copies of every other unit")
+	}
+	if ClassOf(isa.MUL) != FUIntMul || ClassOf(isa.DIV) != FUIntDiv {
+		t.Error("int mul/div classes wrong")
+	}
+	if ClassOf(isa.BEQ) != FUBranch || ClassOf(isa.JAL) != FUBranch {
+		t.Error("control class wrong")
+	}
+	if ClassOf(isa.FMULD) != FUFPMul || ClassOf(isa.FDIVS) != FUFPDiv || ClassOf(isa.CVTIF) != FUFPAdd {
+		t.Error("FP classes wrong")
+	}
+}
+
+func TestALUEdgeCases(t *testing.T) {
+	if got := ALU(isa.DIV, 100, 0, 0); got != 0 {
+		t.Errorf("div by zero = %d, want 0", got)
+	}
+	if got := ALU(isa.REM, 100, 0, 0); got != 100 {
+		t.Errorf("rem by zero = %d, want dividend", got)
+	}
+	minInt := uint32(1 << 31)
+	if got := ALU(isa.DIV, minInt, uint32(0xffffffff), 0); got != minInt {
+		t.Errorf("MinInt32/-1 = %#x, want wrap to MinInt32", got)
+	}
+	if got := ALU(isa.REM, minInt, uint32(0xffffffff), 0); got != 0 {
+		t.Errorf("MinInt32 rem -1 = %d, want 0", got)
+	}
+	if got := ALU(isa.SLL, 1, 33, 0); got != 2 {
+		t.Errorf("shift amount must be mod 32: got %d", got)
+	}
+}
+
+func TestQuickALUMatchesGoSemantics(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if ALU(isa.ADD, a, b, 0) != a+b {
+			return false
+		}
+		if ALU(isa.SUB, a, b, 0) != a-b {
+			return false
+		}
+		if ALU(isa.XOR, a, b, 0) != a^b {
+			return false
+		}
+		if ALU(isa.SLT, a, b, 0) != boolToU32(int32(a) < int32(b)) {
+			return false
+		}
+		if ALU(isa.SLTU, a, b, 0) != boolToU32(a < b) {
+			return false
+		}
+		if b != 0 && int32(b) != -1 {
+			if ALU(isa.DIV, a, b, 0) != uint32(int32(a)/int32(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickALUImmediates(t *testing.T) {
+	f := func(a uint32, imm16 int16) bool {
+		imm := int32(imm16)
+		if ALU(isa.ADDI, a, 0, imm) != a+uint32(imm) {
+			return false
+		}
+		if ALU(isa.ORI, a, 0, imm) != a|uint32(uint16(imm)) {
+			return false
+		}
+		if ALU(isa.LUI, 0, 0, imm) != uint32(uint16(imm))<<16 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFPSinglePrecisionRounds(t *testing.T) {
+	// 1/3 in SP differs from DP.
+	sp := FPOp(isa.FDIVS, 1, 3)
+	dp := FPOp(isa.FDIVD, 1, 3)
+	if sp == dp {
+		t.Error("SP divide should round through float32")
+	}
+	if float32(sp) != float32(1)/float32(3) {
+		t.Error("SP divide wrong value")
+	}
+}
+
+func TestFPCmpNaN(t *testing.T) {
+	nan := math.NaN()
+	if FPCmp(isa.FEQ, nan, nan) != 0 || FPCmp(isa.FLT, nan, 1) != 0 || FPCmp(isa.FLE, 1, nan) != 0 {
+		t.Error("comparisons with NaN must be false")
+	}
+}
+
+func TestCvtFISaturation(t *testing.T) {
+	if CvtFI(math.NaN()) != 0 {
+		t.Error("NaN -> 0")
+	}
+	if CvtFI(1e18) != uint32(math.MaxInt32) {
+		t.Error("overflow must saturate to MaxInt32")
+	}
+	if CvtFI(-1e18) != uint32(1)<<31 {
+		t.Error("underflow must saturate to MinInt32")
+	}
+	if CvtFI(-2.9) != uint32(0xfffffffe) {
+		t.Errorf("trunc(-2.9) = %#x, want -2", CvtFI(-2.9))
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	if !BranchTaken(isa.BEQ, 5, 5) || BranchTaken(isa.BEQ, 5, 6) {
+		t.Error("BEQ wrong")
+	}
+	if !BranchTaken(isa.BLT, uint32(0xffffffff), 0) { // -1 < 0
+		t.Error("BLT must be signed")
+	}
+	if !BranchTaken(isa.BGE, 0, uint32(0xffffffff)) {
+		t.Error("BGE must be signed")
+	}
+}
+
+func TestStallStatsAdd(t *testing.T) {
+	var a, b StallStats
+	a.Instructions = 10
+	a.IStall[1] = 3
+	a.DStall[2] = 4
+	a.PipeStall = 5
+	b = a
+	a.Add(b)
+	if a.Instructions != 20 || a.IStall[1] != 6 || a.DStall[2] != 8 || a.PipeStall != 10 {
+		t.Errorf("Add result = %+v", a)
+	}
+	if a.TotalIStall() != 6 || a.TotalDStall() != 8 {
+		t.Error("totals wrong")
+	}
+}
+
+func TestContextFault(t *testing.T) {
+	var c Context
+	c.Faultf("bad %s at %#x", "load", 0x10)
+	if !c.Halted || c.Fault != "bad load at 0x10" {
+		t.Errorf("fault = %q halted = %v", c.Fault, c.Halted)
+	}
+}

@@ -1,0 +1,234 @@
+package mipsy
+
+import (
+	"math"
+	"testing"
+
+	"cmpsim/internal/asm"
+	"cmpsim/internal/cpu"
+)
+
+// TestISAConformance executes a program using every KRISC opcode at
+// least once and compares every result against host-computed expected
+// values — a single-pass conformance check of assembler, encoder,
+// interpreter and semantics helpers together.
+func TestISAConformance(t *testing.T) {
+	b := asm.NewBuilder()
+	const (
+		a  = int32(-77)
+		c  = int32(13)
+		u  = uint32(0xF0F0F0F0)
+		sh = uint8(5)
+	)
+
+	b.Label("start")
+	b.LI(asm.R1, a)
+	b.LI(asm.R2, c)
+	b.LIU(asm.R3, u)
+	b.LA(asm.R20, "out")
+	slot := int32(0)
+	store := func(r asm.Reg) {
+		b.SW(r, slot, asm.R20)
+		slot += 4
+	}
+	storeF := func(f asm.FReg) {
+		b.AlignData(8) // no-op for text; results land in out2
+		b.SD(f, slot, asm.R21)
+		slot += 8
+	}
+
+	// Integer R-type.
+	b.ADD(asm.R4, asm.R1, asm.R2)
+	store(asm.R4)
+	b.SUB(asm.R4, asm.R1, asm.R2)
+	store(asm.R4)
+	b.MUL(asm.R4, asm.R1, asm.R2)
+	store(asm.R4)
+	b.DIV(asm.R4, asm.R1, asm.R2)
+	store(asm.R4)
+	b.REM(asm.R4, asm.R1, asm.R2)
+	store(asm.R4)
+	b.AND(asm.R4, asm.R3, asm.R2)
+	store(asm.R4)
+	b.OR(asm.R4, asm.R3, asm.R2)
+	store(asm.R4)
+	b.XOR(asm.R4, asm.R3, asm.R1)
+	store(asm.R4)
+	b.NOR(asm.R4, asm.R3, asm.R2)
+	store(asm.R4)
+	b.LI(asm.R5, int32(sh))
+	b.SLL(asm.R4, asm.R3, asm.R5)
+	store(asm.R4)
+	b.SRL(asm.R4, asm.R3, asm.R5)
+	store(asm.R4)
+	b.SRA(asm.R4, asm.R3, asm.R5)
+	store(asm.R4)
+	b.SLT(asm.R4, asm.R1, asm.R2)
+	store(asm.R4)
+	b.SLTU(asm.R4, asm.R1, asm.R2)
+	store(asm.R4)
+
+	// Integer I-type.
+	b.ADDI(asm.R4, asm.R1, 1000)
+	store(asm.R4)
+	b.ANDI(asm.R4, asm.R3, 0xABCD)
+	store(asm.R4)
+	b.ORI(asm.R4, asm.R3, 0xABCD)
+	store(asm.R4)
+	b.XORI(asm.R4, asm.R3, 0xABCD)
+	store(asm.R4)
+	b.SLTI(asm.R4, asm.R1, -76)
+	store(asm.R4)
+	b.LUI(asm.R4, 0xBEEF)
+	store(asm.R4)
+	b.SLLI(asm.R4, asm.R3, sh)
+	store(asm.R4)
+	b.SRLI(asm.R4, asm.R3, sh)
+	store(asm.R4)
+	b.SRAI(asm.R4, asm.R3, sh)
+	store(asm.R4)
+
+	// Byte memory.
+	b.LA(asm.R6, "bytes")
+	b.LB(asm.R4, 1, asm.R6)
+	store(asm.R4)
+	b.LI(asm.R4, 0x1AB)
+	b.SB(asm.R4, 2, asm.R6) // stores 0xAB
+	b.LB(asm.R4, 2, asm.R6)
+	store(asm.R4)
+
+	// Control flow: BGT/BLE pseudos and JALR.
+	b.LI(asm.R4, 0)
+	b.BGT(asm.R2, asm.R1, "took_bgt") // 13 > -77
+	b.LI(asm.R4, 111)
+	b.Label("took_bgt")
+	store(asm.R4) // 0 if taken
+	b.LI(asm.R4, 0)
+	b.BLE(asm.R1, asm.R2, "took_ble")
+	b.LI(asm.R4, 222)
+	b.Label("took_ble")
+	store(asm.R4)
+	b.LA(asm.R7, "callee")
+	b.JALR(asm.RA, asm.R7)
+	store(asm.RV) // callee returns 4242
+
+	// Floating point.
+	b.LA(asm.R21, "out2")
+	b.LA(asm.R8, "fvals")
+	b.LD(asm.F1, 0, asm.R8) // 2.5
+	b.LD(asm.F2, 8, asm.R8) // -0.75
+	slot = 0
+	b.FADDD(asm.F3, asm.F1, asm.F2)
+	storeF(asm.F3)
+	b.FSUBD(asm.F3, asm.F1, asm.F2)
+	storeF(asm.F3)
+	b.FMULD(asm.F3, asm.F1, asm.F2)
+	storeF(asm.F3)
+	b.FDIVD(asm.F3, asm.F1, asm.F2)
+	storeF(asm.F3)
+	b.FADDS(asm.F3, asm.F1, asm.F2)
+	storeF(asm.F3)
+	b.FSUBS(asm.F3, asm.F1, asm.F2)
+	storeF(asm.F3)
+	b.FMULS(asm.F3, asm.F1, asm.F2)
+	storeF(asm.F3)
+	b.FDIVS(asm.F3, asm.F1, asm.F2)
+	storeF(asm.F3)
+	b.FNEG(asm.F3, asm.F1)
+	storeF(asm.F3)
+	b.FMOV(asm.F3, asm.F2)
+	storeF(asm.F3)
+	b.CVTIF(asm.F3, asm.R1) // -77 -> -77.0
+	storeF(asm.F3)
+
+	// FP compares and CVTFI land in the integer region after the last
+	// integer slot; recompute the base.
+	b.LA(asm.R22, "out3")
+	b.FEQ(asm.R4, asm.F1, asm.F1)
+	b.SW(asm.R4, 0, asm.R22)
+	b.FLT(asm.R4, asm.F2, asm.F1)
+	b.SW(asm.R4, 4, asm.R22)
+	b.FLE(asm.R4, asm.F1, asm.F2)
+	b.SW(asm.R4, 8, asm.R22)
+	b.CVTFI(asm.R4, asm.F1) // trunc(2.5) = 2
+	b.SW(asm.R4, 12, asm.R22)
+	b.CPUID(asm.R4)
+	b.SW(asm.R4, 16, asm.R22)
+	b.HALT()
+
+	b.Label("callee")
+	b.LI(asm.RV, 4242)
+	b.RET()
+
+	b.AlignData(8)
+	b.DataLabel("fvals")
+	b.Float64(2.5, -0.75)
+	b.DataLabel("out2")
+	b.Zero(8 * 16)
+	b.AlignData(4)
+	b.DataLabel("bytes")
+	b.Word32(0x04030201)
+	b.DataLabel("out")
+	b.Zero(4 * 32)
+	b.DataLabel("out3")
+	b.Zero(4 * 8)
+
+	r := newRig(t, b, 1, nil)
+	r.run(t, 1_000_000)
+
+	var av, cv int32 = a, c
+	var uv uint32 = u
+	au, cu := uint32(av), uint32(cv)
+	wantInt := []uint32{
+		au + cu, au - cu, uint32(av * cv), uint32(av / cv), uint32(av % cv),
+		uv & cu, uv | cu, uv ^ au, ^(uv | cu),
+		uv << sh, uv >> sh, uint32(int32(uv) >> sh),
+		1, 0, // slt(-77,13)=1; sltu(huge,13)=0
+		uint32(av + 1000), uv & 0xABCD, uv | 0xABCD, uv ^ 0xABCD,
+		1,                                                       // -77 < -76
+		0xBEEF0000, uv << sh, uv >> sh, uint32(int32(uv) >> sh), // LUI + shift-imm
+		0x02, 0xAB, // LB, SB+LB
+		0, 0, // both branches taken
+		4242,
+	}
+	out := r.prog.Addr("out")
+	for i, w := range wantInt {
+		if got := r.img.Read32(out + uint32(4*i)); got != w {
+			t.Errorf("int slot %d = %#x, want %#x", i, got, w)
+		}
+	}
+
+	f1, f2 := 2.5, -0.75
+	s := func(v float64) float64 { return v } // doc alias
+	wantF := []float64{
+		f1 + f2, f1 - f2, f1 * f2, f1 / f2,
+		float64(float32(f1) + float32(f2)),
+		float64(float32(f1) - float32(f2)),
+		float64(float32(f1) * float32(f2)),
+		float64(float32(f1) / float32(f2)),
+		-f1, f2, s(-77.0),
+	}
+	out2 := r.prog.Addr("out2")
+	for i, w := range wantF {
+		got := r.img.ReadF64(out2 + uint32(8*i))
+		if math.Float64bits(got) != math.Float64bits(w) {
+			t.Errorf("fp slot %d = %v, want %v", i, got, w)
+		}
+	}
+
+	out3 := r.prog.Addr("out3")
+	wantCmp := []uint32{1, 1, 0, 2, 0}
+	for i, w := range wantCmp {
+		if got := r.img.Read32(out3 + uint32(4*i)); got != w {
+			t.Errorf("cmp slot %d = %d, want %d", i, got, w)
+		}
+	}
+
+	// Every architectural instruction executed exactly once per source
+	// line; sanity-check the counter is in a plausible band.
+	st := r.cpus[0].Stats()
+	if st.Instructions < 100 || st.Instructions > 400 {
+		t.Errorf("instructions = %d", st.Instructions)
+	}
+	_ = cpu.StallStats{}
+}

@@ -1,0 +1,242 @@
+// Package mipsy implements the paper's simple CPU model (Section 3.1):
+// an in-order instruction-set interpreter with a one-cycle result
+// latency and a one-cycle repeat rate that stalls for every memory
+// operation taking longer than a cycle. All time spent in the memory
+// system therefore contributes directly to execution time, which makes
+// the Figure 4-10 breakdowns easy to interpret.
+package mipsy
+
+import (
+	"cmpsim/internal/cpu"
+	"cmpsim/internal/isa"
+	"cmpsim/internal/mem"
+	"cmpsim/internal/memsys"
+)
+
+const invalidLine = ^uint32(0)
+
+// CPU is one in-order processor driving a memory system.
+type CPU struct {
+	id   int
+	ctx  *cpu.Context
+	mem  memsys.System
+	code cpu.CodeSource
+	trap cpu.TrapHandler
+	img  *mem.Image
+
+	lineMask  uint32
+	nextFree  uint64
+	fetchLine uint32
+
+	irq cpu.InterruptSource
+
+	stats cpu.StallStats
+}
+
+// SetInterruptSource attaches an external interrupt line, polled between
+// instructions.
+func (c *CPU) SetInterruptSource(src cpu.InterruptSource) { c.irq = src }
+
+// New builds a Mipsy CPU with hardware id id executing ctx.
+func New(id int, ctx *cpu.Context, sys memsys.System, code cpu.CodeSource, trap cpu.TrapHandler, img *mem.Image, lineBytes uint32) *CPU {
+	if trap == nil {
+		trap = cpu.NopTrap{}
+	}
+	return &CPU{
+		id:        id,
+		ctx:       ctx,
+		mem:       sys,
+		code:      code,
+		trap:      trap,
+		img:       img,
+		lineMask:  ^(lineBytes - 1),
+		fetchLine: invalidLine,
+	}
+}
+
+// Context returns the context currently executing on this CPU.
+func (c *CPU) Context() *cpu.Context { return c.ctx }
+
+// Stats returns the stall/instruction counters accumulated so far.
+func (c *CPU) Stats() cpu.StallStats { return c.stats }
+
+// Done reports whether this CPU has stopped (halt or fault).
+func (c *CPU) Done() bool { return c.ctx.Halted }
+
+// FlushFetchBuffer invalidates the fetch line buffer; the kernel's
+// context switches call this because the new context's PC translates
+// differently.
+func (c *CPU) FlushFetchBuffer() { c.fetchLine = invalidLine }
+
+// Tick advances the CPU by (at most) one instruction at cycle now. The
+// simulator core calls Tick once per cycle per CPU.
+func (c *CPU) Tick(now uint64) {
+	ctx := c.ctx
+	if ctx.Halted || now < c.nextFree {
+		return
+	}
+	if c.irq != nil && c.irq.PendingInterrupt(c.id) {
+		// Deliver at the instruction boundary: the PC is the resume point.
+		c.irq.AckInterrupt(c.id)
+		extra := c.trap.Syscall(now, c.id, ctx, cpu.IRQ)
+		c.fetchLine = invalidLine
+		c.nextFree = now + 1 + extra
+		return
+	}
+	pc := ctx.PC
+	ppc, ok := ctx.Space.Translate(pc)
+	if !ok {
+		ctx.Faultf("instruction fetch from unmapped address %#x", pc)
+		return
+	}
+
+	cur := now
+	if ppc&c.lineMask != c.fetchLine {
+		r := c.mem.IFetch(cur, c.id, ppc)
+		c.fetchLine = ppc & c.lineMask
+		if r.Done > cur+1 {
+			c.stats.IStall[r.Level] += r.Done - (cur + 1)
+			cur = r.Done - 1 // instruction completes one cycle after arrival
+		}
+	}
+
+	in, ok := c.code.InstAt(ppc)
+	if !ok {
+		ctx.Faultf("no code at %#x (pc %#x)", ppc, pc)
+		return
+	}
+
+	c.execute(cur, in)
+}
+
+// execute runs one instruction whose execution cycle is cur. It sets
+// ctx.PC and c.nextFree.
+func (c *CPU) execute(cur uint64, in isa.Inst) {
+	ctx := c.ctx
+	next := ctx.PC + 4
+	done := cur + 1
+
+	switch {
+	case in.Op.IsMem():
+		if !c.executeMem(cur, in, &done) {
+			return // structural stall or fault; retry or stop
+		}
+	case in.Op.IsBranch():
+		if cpu.BranchTaken(in.Op, ctx.Regs[in.R1], ctx.Regs[in.R2]) {
+			next = uint32(int64(ctx.PC) + 4 + int64(in.Imm)*4)
+		}
+	case in.Op == isa.J:
+		next = uint32(in.Imm) * 4
+	case in.Op == isa.JAL:
+		ctx.Regs[isa.RegRA] = ctx.PC + 4
+		next = uint32(in.Imm) * 4
+	case in.Op == isa.JR:
+		next = ctx.Regs[in.R2]
+	case in.Op == isa.JALR:
+		t := ctx.Regs[in.R2]
+		c.setReg(in.R1, ctx.PC+4)
+		next = t
+	case in.Op == isa.HALT:
+		ctx.Halted = true
+		c.stats.Instructions++
+		return
+	case in.Op == isa.CPUID:
+		c.setReg(in.R1, uint32(c.id))
+	case in.Op == isa.SYSCALL:
+		ctx.PC = next
+		extra := c.trap.Syscall(cur, c.id, ctx, in.Imm)
+		c.fetchLine = invalidLine // the handler may have switched spaces
+		c.stats.Instructions++
+		c.nextFree = done + extra
+		return
+	case in.Op == isa.FMOV, in.Op == isa.FNEG:
+		ctx.FRegs[in.R1] = cpu.FPOp(in.Op, ctx.FRegs[in.R2], 0)
+	case in.Op == isa.FEQ, in.Op == isa.FLT, in.Op == isa.FLE:
+		c.setReg(in.R1, cpu.FPCmp(in.Op, ctx.FRegs[in.R2], ctx.FRegs[in.R3]))
+	case in.Op == isa.CVTIF:
+		ctx.FRegs[in.R1] = float64(int32(ctx.Regs[in.R2]))
+	case in.Op == isa.CVTFI:
+		c.setReg(in.R1, cpu.CvtFI(ctx.FRegs[in.R2]))
+	case in.Op.IsFPOp():
+		ctx.FRegs[in.R1] = cpu.FPOp(in.Op, ctx.FRegs[in.R2], ctx.FRegs[in.R3])
+	default:
+		// Integer ALU, register or immediate form.
+		var v uint32
+		if in.Op.Format() == isa.FormatR {
+			v = cpu.ALU(in.Op, ctx.Regs[in.R2], ctx.Regs[in.R3], 0)
+		} else {
+			v = cpu.ALU(in.Op, ctx.Regs[in.R2], 0, in.Imm)
+		}
+		c.setReg(in.R1, v)
+	}
+
+	ctx.PC = next
+	c.stats.Instructions++
+	c.nextFree = done
+}
+
+// executeMem handles loads and stores. It returns false if the
+// instruction could not complete this cycle (structural refusal or
+// fault); on refusal the PC is left unchanged so the instruction
+// retries.
+func (c *CPU) executeMem(cur uint64, in isa.Inst, done *uint64) bool {
+	ctx := c.ctx
+	ea := ctx.Regs[in.R2] + uint32(in.Imm)
+	pea, ok := ctx.Space.Translate(ea)
+	if !ok {
+		ctx.Faultf("%v: unmapped data address %#x (pc %#x)", in.Op, ea, ctx.PC)
+		return false
+	}
+
+	// Store-conditional that lost its reservation performs no memory
+	// access at all.
+	if in.Op == isa.SC && !c.mem.SCCheck(c.id, pea) {
+		c.setReg(in.R1, 0)
+		ctx.PC += 4
+		c.stats.Instructions++
+		c.nextFree = cur + 1
+		return false // PC already advanced; skip the caller's epilogue
+	}
+
+	write := in.Op.IsStore()
+	res, accepted := c.mem.Access(cur, c.id, pea, write)
+	if !accepted {
+		// MSHRs or write buffer full: stall one cycle and retry.
+		c.stats.DStall[res.Level]++
+		c.nextFree = cur + 1
+		return false
+	}
+
+	switch in.Op {
+	case isa.LW:
+		c.setReg(in.R1, c.img.Read32(pea))
+	case isa.LB:
+		c.setReg(in.R1, uint32(c.img.Read8(pea)))
+	case isa.LD:
+		ctx.FRegs[in.R1] = c.img.ReadF64(pea)
+	case isa.LL:
+		c.mem.LLReserve(c.id, pea)
+		c.setReg(in.R1, c.img.Read32(pea))
+	case isa.SW:
+		c.img.Write32(pea, ctx.Regs[in.R1])
+	case isa.SB:
+		c.img.Write8(pea, uint8(ctx.Regs[in.R1]))
+	case isa.SD:
+		c.img.WriteF64(pea, ctx.FRegs[in.R1])
+	case isa.SC:
+		c.img.Write32(pea, ctx.Regs[in.R1])
+		c.setReg(in.R1, 1)
+	}
+
+	if res.Done > cur+1 {
+		c.stats.DStall[res.Level] += res.Done - (cur + 1)
+		*done = res.Done
+	}
+	return true
+}
+
+func (c *CPU) setReg(r uint8, v uint32) {
+	if r != 0 {
+		c.ctx.Regs[r] = v
+	}
+}

@@ -1,0 +1,85 @@
+package mxs_test
+
+import (
+	"testing"
+
+	"cmpsim/internal/asm"
+)
+
+// TestSingleMemoryPortLimitsLoadThroughput: independent loads to hot
+// lines can retire at most one per cycle (one memory data port), while
+// independent ALU ops dual-issue. The loop with 4 loads must therefore
+// take roughly twice as long as the loop with 4 ALU ops.
+func TestSingleMemoryPortLimitsLoadThroughput(t *testing.T) {
+	mkLoads := func() *asm.Builder {
+		b := asm.NewBuilder()
+		b.Label("start")
+		b.LA(asm.R1, "data")
+		b.LI(asm.R10, 1000)
+		b.Label("loop")
+		b.LW(asm.R2, 0, asm.R1)
+		b.LW(asm.R3, 4, asm.R1)
+		b.LW(asm.R4, 8, asm.R1)
+		b.LW(asm.R5, 12, asm.R1)
+		b.ADDI(asm.R10, asm.R10, -1)
+		b.BNEZ(asm.R10, "loop")
+		b.HALT()
+		b.AlignData(4)
+		b.DataLabel("data")
+		b.Word32(1, 2, 3, 4)
+		return b
+	}
+	mkALU := func() *asm.Builder {
+		b := asm.NewBuilder()
+		b.Label("start")
+		b.LI(asm.R10, 1000)
+		b.Label("loop")
+		b.ADDI(asm.R2, asm.R2, 1)
+		b.ADDI(asm.R3, asm.R3, 1)
+		b.ADDI(asm.R4, asm.R4, 1)
+		b.ADDI(asm.R5, asm.R5, 1)
+		b.ADDI(asm.R10, asm.R10, -1)
+		b.BNEZ(asm.R10, "loop")
+		b.HALT()
+		return b
+	}
+	// Both loops run the same instruction count; the load loop's single
+	// memory port shows up as extra head-blocked (pipe-stall) cycles.
+	run := func(mk func() *asm.Builder) float64 {
+		st, _ := runMXS(t, mk())
+		return float64(st.PipeStall)
+	}
+	loadStalls := run(mkLoads)
+	aluStalls := run(mkALU)
+	if loadStalls <= aluStalls {
+		t.Errorf("memory-port pressure not visible: load-loop pipe stalls %v <= alu-loop %v",
+			loadStalls, aluStalls)
+	}
+}
+
+// TestWindowBoundsOutstandingWork: a long dependent FP-divide chain
+// cannot hide anything; the blame accounting must attribute the time to
+// pipeline stalls rather than losing it.
+func TestDependentDivideChainStalls(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("start")
+	b.LA(asm.R1, "c")
+	b.LD(asm.F0, 0, asm.R1)
+	b.LD(asm.F1, 8, asm.R1)
+	b.LI(asm.R10, 200)
+	b.Label("loop")
+	b.FDIVD(asm.F0, asm.F0, asm.F1) // 18-cycle dependent divides
+	b.ADDI(asm.R10, asm.R10, -1)
+	b.BNEZ(asm.R10, "loop")
+	b.HALT()
+	b.DataLabel("c")
+	b.Float64(1e300, 1.0000001)
+	st, _ := runMXS(t, b)
+	// 200 divides x 18 cycles ≈ 3600 cycles of mostly pipeline stall.
+	if st.PipeStall < 2500 {
+		t.Errorf("pipe stalls = %d, want most of the ~3600 divide cycles", st.PipeStall)
+	}
+	if st.Instructions < 600 {
+		t.Errorf("instructions = %d", st.Instructions)
+	}
+}

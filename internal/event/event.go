@@ -1,0 +1,62 @@
+// Package event provides the cycle-based discrete-event calendar used by
+// the memory system and the top-level simulator loop. Events scheduled
+// for the same cycle fire in FIFO order, which keeps the whole simulation
+// deterministic.
+package event
+
+import "container/heap"
+
+// Func is an event callback; it receives the cycle at which it fires.
+type Func func(cycle uint64)
+
+type item struct {
+	cycle uint64
+	seq   uint64
+	fn    Func
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Queue is a calendar of future events. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Schedule registers fn to fire at the given cycle.
+func (q *Queue) Schedule(cycle uint64, fn Func) {
+	q.seq++
+	heap.Push(&q.h, item{cycle: cycle, seq: q.seq, fn: fn})
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// NextCycle returns the cycle of the earliest pending event.
+func (q *Queue) NextCycle() (uint64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].cycle, true
+}
+
+// RunUntil fires, in order, every event scheduled at or before cycle.
+// Events may schedule further events; those fire too if they fall within
+// the bound.
+func (q *Queue) RunUntil(cycle uint64) {
+	for len(q.h) > 0 && q.h[0].cycle <= cycle {
+		it := heap.Pop(&q.h).(item)
+		it.fn(it.cycle)
+	}
+}

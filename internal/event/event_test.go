@@ -1,0 +1,97 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOWithinCycle(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.Schedule(10, func(uint64) { got = append(got, i) })
+	}
+	q.RunUntil(10)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestRunUntilBound(t *testing.T) {
+	var q Queue
+	fired := map[uint64]bool{}
+	for _, c := range []uint64{5, 10, 15} {
+		c := c
+		q.Schedule(c, func(at uint64) {
+			if at != c {
+				t.Errorf("fired at %d, scheduled %d", at, c)
+			}
+			fired[c] = true
+		})
+	}
+	q.RunUntil(10)
+	if !fired[5] || !fired[10] || fired[15] {
+		t.Errorf("fired = %v", fired)
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+	if next, ok := q.NextCycle(); !ok || next != 15 {
+		t.Errorf("NextCycle = %d,%v", next, ok)
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	var q Queue
+	var trace []uint64
+	q.Schedule(1, func(at uint64) {
+		trace = append(trace, at)
+		q.Schedule(2, func(at2 uint64) { trace = append(trace, at2) })
+	})
+	q.RunUntil(3)
+	if len(trace) != 2 || trace[0] != 1 || trace[1] != 2 {
+		t.Errorf("trace = %v", trace)
+	}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if _, ok := q.NextCycle(); ok {
+		t.Error("NextCycle on empty queue should report !ok")
+	}
+	q.RunUntil(100) // must not panic
+}
+
+func TestQuickFiresInCycleOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var q Queue
+		var cycles []uint64
+		var fired []uint64
+		n := 1 + r.Intn(50)
+		for i := 0; i < n; i++ {
+			c := uint64(r.Intn(100))
+			cycles = append(cycles, c)
+			q.Schedule(c, func(at uint64) { fired = append(fired, at) })
+		}
+		q.RunUntil(1000)
+		sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+		if len(fired) != len(cycles) {
+			return false
+		}
+		for i := range fired {
+			if fired[i] != cycles[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package guestlib is the guest-level runtime linked into every
+// workload: spin locks and sense-reversing barriers built on LL/SC, a
+// lock-protected task queue with index handout (used by Volpack's
+// dynamic task stealing), and small utility routines. Everything here is
+// KRISC code emitted through the assembler DSL, so synchronization costs
+// are real guest instructions — spin time lands in CPU time exactly as
+// the paper describes (Section 4: "time spent waiting for a spin lock or
+// for barrier synchronization is included in the CPU time").
+//
+// Register conventions: routines take arguments in A0..A3, return in RV,
+// and clobber only R8..R13 (caller-saved temporaries).
+package guestlib
+
+import "cmpsim/internal/asm"
+
+// Runtime routine labels emitted by EmitRuntime.
+const (
+	LLockAcquire = "gl_lock_acquire" // A0 = lock address
+	LLockRelease = "gl_lock_release" // A0 = lock address
+	LBarrierWait = "gl_barrier_wait" // A0 = barrier address, A1 = thread id
+	LTaskNext    = "gl_task_next"    // A0 = queue address; RV = index or -1
+	LMemcpyWords = "gl_memcpy_w"     // A0 = dst, A1 = src, A2 = word count
+)
+
+// Barrier data layout (words): count, global sense, total, then one
+// local-sense word per participant.
+const (
+	barCount = 0
+	barSense = 4
+	barTotal = 8
+	barLocal = 12
+)
+
+// BarrierBytes returns the size of a barrier structure for n threads.
+func BarrierBytes(n int) uint32 { return uint32(barLocal + 4*n) }
+
+// EmitBarrierData lays out an initialized barrier for n participants at
+// the current data position under the given label.
+func EmitBarrierData(b *asm.Builder, label string, n int) {
+	b.AlignData(4)
+	b.DataLabel(label)
+	b.Word32(uint32(n)) // count
+	b.Word32(0)         // global sense
+	b.Word32(uint32(n)) // total
+	for i := 0; i < n; i++ {
+		b.Word32(0) // local sense
+	}
+}
+
+// Task queue layout (words): lock, next index, limit.
+const (
+	tqLock  = 0
+	tqNext  = 4
+	tqLimit = 8
+)
+
+// TaskQueueBytes is the size of a task queue structure.
+const TaskQueueBytes = 12
+
+// EmitTaskQueueData lays out a task queue handing out [0, limit) at the
+// current data position.
+func EmitTaskQueueData(b *asm.Builder, label string, limit uint32) {
+	b.AlignData(4)
+	b.DataLabel(label)
+	b.Word32(0)     // lock
+	b.Word32(0)     // next
+	b.Word32(limit) // limit
+}
+
+// EmitRuntime appends the runtime routines to b. Call once per program,
+// anywhere in the text section that straight-line code does not fall
+// into (conventionally at the end).
+func EmitRuntime(b *asm.Builder) {
+	emitLock(b)
+	emitBarrier(b)
+	emitTaskQueue(b)
+	emitMemcpy(b)
+}
+
+// emitLock: test-and-test-and-set spin lock.
+func emitLock(b *asm.Builder) {
+	b.Label(LLockAcquire)
+	b.Label("gl_la_spin")
+	// Spin on a plain load first so the lock line stays shared while held.
+	b.LW(asm.R8, 0, asm.A0)
+	b.BNEZ(asm.R8, "gl_la_spin")
+	b.LL(asm.R8, 0, asm.A0)
+	b.BNEZ(asm.R8, "gl_la_spin")
+	b.ADDI(asm.R9, asm.R0, 1)
+	b.SC(asm.R9, 0, asm.A0)
+	b.BEQZ(asm.R9, "gl_la_spin")
+	b.RET()
+
+	b.Label(LLockRelease)
+	b.SW(asm.R0, 0, asm.A0)
+	b.RET()
+}
+
+// emitBarrier: sense-reversing barrier; A0 = barrier, A1 = thread id.
+func emitBarrier(b *asm.Builder) {
+	b.Label(LBarrierWait)
+	// Flip this thread's local sense.
+	b.SLLI(asm.R8, asm.A1, 2)
+	b.ADD(asm.R8, asm.A0, asm.R8) // &local[tid] - barLocal
+	b.LW(asm.R9, barLocal, asm.R8)
+	b.XORI(asm.R9, asm.R9, 1)
+	b.SW(asm.R9, barLocal, asm.R8) // R9 = my sense for this episode
+
+	// Atomically decrement the count.
+	b.Label("gl_bw_dec")
+	b.LL(asm.R10, barCount, asm.A0)
+	b.ADDI(asm.R10, asm.R10, -1)
+	b.MOVE(asm.R11, asm.R10)
+	b.SC(asm.R11, barCount, asm.A0)
+	b.BEQZ(asm.R11, "gl_bw_dec")
+
+	b.BNEZ(asm.R10, "gl_bw_wait")
+	// Last arriver: reset the count, then release everyone by publishing
+	// the new sense.
+	b.LW(asm.R12, barTotal, asm.A0)
+	b.SW(asm.R12, barCount, asm.A0)
+	b.SW(asm.R9, barSense, asm.A0)
+	b.RET()
+
+	// Everyone else spins until the global sense matches their local one.
+	b.Label("gl_bw_wait")
+	b.LW(asm.R12, barSense, asm.A0)
+	b.BNE(asm.R12, asm.R9, "gl_bw_wait")
+	b.RET()
+}
+
+// emitTaskQueue: RV = next task index, or -1 when the queue is drained.
+func emitTaskQueue(b *asm.Builder) {
+	b.Label(LTaskNext)
+	// Acquire the queue lock (inlined; A0 already points at the lock).
+	b.Label("gl_tq_spin")
+	b.LW(asm.R8, tqLock, asm.A0)
+	b.BNEZ(asm.R8, "gl_tq_spin")
+	b.LL(asm.R8, tqLock, asm.A0)
+	b.BNEZ(asm.R8, "gl_tq_spin")
+	b.ADDI(asm.R9, asm.R0, 1)
+	b.SC(asm.R9, tqLock, asm.A0)
+	b.BEQZ(asm.R9, "gl_tq_spin")
+
+	b.LW(asm.R10, tqNext, asm.A0)
+	b.LW(asm.R11, tqLimit, asm.A0)
+	b.BLT(asm.R10, asm.R11, "gl_tq_take")
+	b.LI(asm.RV, -1)
+	b.J("gl_tq_out")
+	b.Label("gl_tq_take")
+	b.ADDI(asm.R12, asm.R10, 1)
+	b.SW(asm.R12, tqNext, asm.A0)
+	b.MOVE(asm.RV, asm.R10)
+	b.Label("gl_tq_out")
+	b.SW(asm.R0, tqLock, asm.A0) // release
+	b.RET()
+}
+
+// emitMemcpy: word copy, A0 = dst, A1 = src, A2 = count (words).
+func emitMemcpy(b *asm.Builder) {
+	b.Label(LMemcpyWords)
+	b.BEQZ(asm.A2, "gl_mc_done")
+	b.MOVE(asm.R10, asm.A2)
+	b.MOVE(asm.R8, asm.A0)
+	b.MOVE(asm.R9, asm.A1)
+	b.Label("gl_mc_loop")
+	b.LW(asm.R11, 0, asm.R9)
+	b.SW(asm.R11, 0, asm.R8)
+	b.ADDI(asm.R8, asm.R8, 4)
+	b.ADDI(asm.R9, asm.R9, 4)
+	b.ADDI(asm.R10, asm.R10, -1)
+	b.BNEZ(asm.R10, "gl_mc_loop")
+	b.Label("gl_mc_done")
+	b.RET()
+}

@@ -1,0 +1,226 @@
+package guestlib
+
+import (
+	"testing"
+
+	"cmpsim/internal/asm"
+	"cmpsim/internal/core"
+	"cmpsim/internal/cpu"
+	"cmpsim/internal/isa"
+	"cmpsim/internal/mem"
+	"cmpsim/internal/memsys"
+)
+
+// runOn assembles b and runs it on nCPU CPUs of the given architecture;
+// every CPU starts at "start" with its id in A0.
+func runOn(t *testing.T, b *asm.Builder, nCPU int, arch core.Arch) (*core.Machine, *asm.Program) {
+	t.Helper()
+	p, err := b.Assemble(0, 0x40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMachine(arch, core.ModelMipsy, memsys.DefaultConfig(), 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LoadProgram(p, 0)
+	for i := 0; i < nCPU; i++ {
+		ctx := &cpu.Context{Space: mem.Identity{Limit: m.Img.Size()}, TID: i, PC: p.Addr("start")}
+		ctx.Regs[isa.RegSP] = 0x200000 + uint32(i)*0x10000
+		ctx.Regs[asm.A0] = uint32(i)
+		m.AddContext(ctx)
+	}
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m, p
+}
+
+func forEachArch(t *testing.T, f func(t *testing.T, arch core.Arch)) {
+	for _, a := range core.Arches() {
+		a := a
+		t.Run(string(a), func(t *testing.T) { f(t, a) })
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch core.Arch) {
+		const perCPU = 200
+		b := asm.NewBuilder()
+		b.Label("start")
+		b.MOVE(asm.R20, asm.A0) // tid
+		b.LI(asm.R21, perCPU)
+		b.Label("loop")
+		b.LA(asm.A0, "lock")
+		b.JAL(LLockAcquire)
+		// Non-atomic read-modify-write inside the critical section: only
+		// mutual exclusion makes the final count exact.
+		b.LA(asm.R8, "counter")
+		b.LW(asm.R9, 0, asm.R8)
+		b.ADDI(asm.R9, asm.R9, 1)
+		b.SW(asm.R9, 0, asm.R8)
+		b.LA(asm.A0, "lock")
+		b.JAL(LLockRelease)
+		b.ADDI(asm.R21, asm.R21, -1)
+		b.BNEZ(asm.R21, "loop")
+		b.HALT()
+		EmitRuntime(b)
+		b.AlignData(4)
+		b.DataLabel("lock")
+		b.Word32(0)
+		b.DataLabel("counter")
+		b.Word32(0)
+
+		m, p := runOn(t, b, 4, arch)
+		if got := m.Img.Read32(p.Addr("counter")); got != 4*perCPU {
+			t.Errorf("counter = %d, want %d", got, 4*perCPU)
+		}
+	})
+}
+
+func TestBarrierPhases(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch core.Arch) {
+		const phases = 20
+		b := asm.NewBuilder()
+		b.Label("start")
+		b.MOVE(asm.R20, asm.A0) // tid
+		b.LI(asm.R21, phases)   // remaining phases
+		b.LI(asm.R22, 0)        // phase counter
+		b.Label("phase")
+		// slot[tid]++
+		b.LA(asm.R8, "slots")
+		b.SLLI(asm.R9, asm.R20, 2)
+		b.ADD(asm.R8, asm.R8, asm.R9)
+		b.LW(asm.R10, 0, asm.R8)
+		b.ADDI(asm.R10, asm.R10, 1)
+		b.SW(asm.R10, 0, asm.R8)
+		// barrier
+		b.LA(asm.A0, "bar")
+		b.MOVE(asm.A1, asm.R20)
+		b.JAL(LBarrierWait)
+		// After the barrier every slot must equal phase+1; accumulate an
+		// error flag if not.
+		b.ADDI(asm.R22, asm.R22, 1)
+		b.LA(asm.R8, "slots")
+		b.LI(asm.R11, 4) // cpu count
+		b.Label("check")
+		b.LW(asm.R10, 0, asm.R8)
+		b.BEQ(asm.R10, asm.R22, "ok")
+		b.LA(asm.R12, "errors")
+		b.LW(asm.R13, 0, asm.R12)
+		b.ADDI(asm.R13, asm.R13, 1)
+		b.SW(asm.R13, 0, asm.R12)
+		b.Label("ok")
+		b.ADDI(asm.R8, asm.R8, 4)
+		b.ADDI(asm.R11, asm.R11, -1)
+		b.BNEZ(asm.R11, "check")
+		// Second barrier so nobody races ahead into the next phase while
+		// others are still checking.
+		b.LA(asm.A0, "bar")
+		b.MOVE(asm.A1, asm.R20)
+		b.JAL(LBarrierWait)
+		b.ADDI(asm.R21, asm.R21, -1)
+		b.BNEZ(asm.R21, "phase")
+		b.HALT()
+		EmitRuntime(b)
+		b.AlignData(4)
+		b.DataLabel("slots")
+		b.Zero(16)
+		b.DataLabel("errors")
+		b.Word32(0)
+		EmitBarrierData(b, "bar", 4)
+
+		m, p := runOn(t, b, 4, arch)
+		if got := m.Img.Read32(p.Addr("errors")); got != 0 {
+			t.Errorf("barrier synchronization errors: %d", got)
+		}
+		for i := 0; i < 4; i++ {
+			if got := m.Img.Read32(p.Addr("slots") + uint32(4*i)); got != phases {
+				t.Errorf("slot[%d] = %d, want %d", i, got, phases)
+			}
+		}
+	})
+}
+
+func TestTaskQueueHandsOutEachTaskOnce(t *testing.T) {
+	forEachArch(t, func(t *testing.T, arch core.Arch) {
+		const nTasks = 97
+		b := asm.NewBuilder()
+		b.Label("start")
+		b.MOVE(asm.R20, asm.A0)
+		b.Label("next")
+		b.LA(asm.A0, "queue")
+		b.JAL(LTaskNext)
+		b.LI(asm.R8, -1)
+		b.BEQ(asm.RV, asm.R8, "done")
+		// done[task]++ — single writer per task if handout is exact.
+		b.LA(asm.R9, "marks")
+		b.SLLI(asm.R10, asm.RV, 2)
+		b.ADD(asm.R9, asm.R9, asm.R10)
+		b.LW(asm.R11, 0, asm.R9)
+		b.ADDI(asm.R11, asm.R11, 1)
+		b.SW(asm.R11, 0, asm.R9)
+		b.J("next")
+		b.Label("done")
+		b.HALT()
+		EmitRuntime(b)
+		EmitTaskQueueData(b, "queue", nTasks)
+		b.AlignData(4)
+		b.DataLabel("marks")
+		b.Zero(4 * nTasks)
+
+		m, p := runOn(t, b, 4, arch)
+		for i := 0; i < nTasks; i++ {
+			if got := m.Img.Read32(p.Addr("marks") + uint32(4*i)); got != 1 {
+				t.Errorf("task %d executed %d times", i, got)
+			}
+		}
+	})
+}
+
+func TestMemcpyWords(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("start")
+	b.LA(asm.A0, "dst")
+	b.LA(asm.A1, "src")
+	b.LI(asm.A2, 8)
+	b.JAL(LMemcpyWords)
+	b.HALT()
+	EmitRuntime(b)
+	b.AlignData(4)
+	b.DataLabel("src")
+	b.Word32(1, 2, 3, 4, 5, 6, 7, 8)
+	b.DataLabel("dst")
+	b.Zero(32)
+
+	m, p := runOn(t, b, 1, core.SharedMem)
+	for i := uint32(0); i < 8; i++ {
+		if got := m.Img.Read32(p.Addr("dst") + 4*i); got != i+1 {
+			t.Errorf("dst[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestZeroLengthMemcpy(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("start")
+	b.LA(asm.A0, "dst")
+	b.LA(asm.A1, "dst")
+	b.LI(asm.A2, 0)
+	b.JAL(LMemcpyWords)
+	b.HALT()
+	EmitRuntime(b)
+	b.AlignData(4)
+	b.DataLabel("dst")
+	b.Word32(0xdeadbeef)
+	m, p := runOn(t, b, 1, core.SharedMem)
+	if got := m.Img.Read32(p.Addr("dst")); got != 0xdeadbeef {
+		t.Errorf("zero-length memcpy clobbered dst: %#x", got)
+	}
+}
+
+func TestBarrierBytes(t *testing.T) {
+	if BarrierBytes(4) != 12+16 {
+		t.Errorf("BarrierBytes(4) = %d", BarrierBytes(4))
+	}
+}

@@ -1,0 +1,99 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAcquireIdle(t *testing.T) {
+	var r Resource
+	if start := r.Acquire(10, 2); start != 10 {
+		t.Fatalf("start = %d, want 10", start)
+	}
+	if start := r.Acquire(12, 2); start != 12 {
+		t.Fatalf("back-to-back start = %d, want 12", start)
+	}
+}
+
+func TestAcquireQueues(t *testing.T) {
+	var r Resource
+	r.Acquire(10, 6)
+	if start := r.Acquire(11, 6); start != 16 {
+		t.Fatalf("queued start = %d, want 16", start)
+	}
+	s := r.Stats()
+	if s.Acquires != 2 || s.WaitCycles != 5 || s.BusyCycles != 12 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestFreeAtDoesNotReserve(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 10)
+	if got := r.FreeAt(5); got != 10 {
+		t.Errorf("FreeAt = %d, want 10", got)
+	}
+	if got := r.FreeAt(20); got != 20 {
+		t.Errorf("FreeAt past busy = %d, want 20", got)
+	}
+	// FreeAt must not have consumed the slot.
+	if start := r.Acquire(5, 1); start != 10 {
+		t.Errorf("Acquire after FreeAt = %d, want 10", start)
+	}
+}
+
+func TestZeroOccupancyArbitration(t *testing.T) {
+	var r Resource
+	a := r.Acquire(5, 0)
+	b := r.Acquire(5, 0)
+	if a != 5 || b != 5 {
+		t.Errorf("zero-occupancy acquires = %d, %d", a, b)
+	}
+}
+
+func TestBanksAreIndependent(t *testing.T) {
+	b := NewBanks("l1", 4)
+	s0 := b.Acquire(0, 10, 4)
+	s1 := b.Acquire(1, 10, 4)
+	if s0 != 10 || s1 != 10 {
+		t.Errorf("independent banks queued: %d %d", s0, s1)
+	}
+	if s := b.Acquire(0, 10, 4); s != 14 {
+		t.Errorf("same bank should queue: %d", s)
+	}
+	sum := b.Stats()
+	if sum.Acquires != 3 || sum.BusyCycles != 12 || sum.WaitCycles != 4 {
+		t.Errorf("bank stats = %+v", sum)
+	}
+}
+
+// Property: starts are monotone in request order and never overlap:
+// consecutive grants on one resource are separated by >= occupancy.
+func TestQuickNoOverlap(t *testing.T) {
+	f := func(times []uint8, occs []uint8) bool {
+		var r Resource
+		now := uint64(0)
+		prevStart := uint64(0)
+		prevOcc := uint64(0)
+		first := true
+		for i, dt := range times {
+			now += uint64(dt % 8)
+			occ := uint64(1)
+			if i < len(occs) {
+				occ = uint64(occs[i]%4) + 1
+			}
+			start := r.Acquire(now, occ)
+			if start < now {
+				return false
+			}
+			if !first && start < prevStart+prevOcc {
+				return false
+			}
+			prevStart, prevOcc, first = start, occ, false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

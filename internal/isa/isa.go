@@ -1,0 +1,422 @@
+// Package isa defines KRISC, the 32-bit RISC instruction set executed by
+// the simulator's CPU models. KRISC is deliberately MIPS-like: 32 integer
+// registers (r0 hardwired to zero), 32 floating-point registers, fixed
+// 32-bit instruction words, load/store architecture, LL/SC for atomics,
+// and separate single/double-precision arithmetic opcodes so that the
+// functional-unit latencies of the paper's Table 1 can be modelled.
+package isa
+
+import "fmt"
+
+// Op enumerates every KRISC opcode. The numeric value is the 6-bit opcode
+// field of the binary encoding, so Op values must stay below 64.
+type Op uint8
+
+const (
+	// Integer register-register (R-format: rd, rs, rt).
+	ADD Op = iota
+	SUB
+	MUL
+	DIV
+	REM
+	AND
+	OR
+	XOR
+	NOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+
+	// Integer register-immediate (I-format: rt, rs, imm16).
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	LUI
+	SLLI
+	SRLI
+	SRAI
+
+	// Memory (I-format: rt, base rs, displacement imm16).
+	LW // load 32-bit word into integer register
+	SW // store 32-bit word from integer register
+	LB // load byte (zero-extended)
+	SB // store byte
+	LD // load 64-bit double into FP register
+	SD // store 64-bit double from FP register
+	LL // load-linked word
+	SC // store-conditional word; rt <- 1 on success, 0 on failure
+
+	// Branches (I-format: rs=r1, rt=r2, imm16 = signed instruction offset
+	// relative to the next instruction).
+	BEQ
+	BNE
+	BLT
+	BGE
+
+	// Jumps. J/JAL are J-format (imm26 = absolute instruction index).
+	// JR/JALR are R-format.
+	J
+	JAL
+	JR   // jump to rs (r2)
+	JALR // rd <- return address, jump to rs (r2)
+
+	// Floating point (R-format over FP registers: fd, fs, ft).
+	FADDS
+	FSUBS
+	FMULS
+	FDIVS
+	FADDD
+	FSUBD
+	FMULD
+	FDIVD
+	FMOV // fd <- fs
+	FNEG // fd <- -fs
+
+	// FP compares write an integer register (R-format: rd int, fs, ft).
+	FEQ
+	FLT
+	FLE
+
+	// Conversions.
+	CVTIF // fd <- float64(int32 rs)
+	CVTFI // rd <- int32(trunc f fs)
+
+	// System.
+	SYSCALL // I-format; imm16 = syscall number
+	HALT    // stop this hardware context
+	CPUID   // rd <- physical cpu number
+
+	NumOps // sentinel; must be <= 64
+)
+
+var opNames = [...]string{
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",
+	AND: "and", OR: "or", XOR: "xor", NOR: "nor",
+	SLL: "sll", SRL: "srl", SRA: "sra", SLT: "slt", SLTU: "sltu",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori", SLTI: "slti",
+	LUI: "lui", SLLI: "slli", SRLI: "srli", SRAI: "srai",
+	LW: "lw", SW: "sw", LB: "lb", SB: "sb", LD: "ld", SD: "sd",
+	LL: "ll", SC: "sc",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge",
+	J: "j", JAL: "jal", JR: "jr", JALR: "jalr",
+	FADDS: "fadd.s", FSUBS: "fsub.s", FMULS: "fmul.s", FDIVS: "fdiv.s",
+	FADDD: "fadd.d", FSUBD: "fsub.d", FMULD: "fmul.d", FDIVD: "fdiv.d",
+	FMOV: "fmov", FNEG: "fneg",
+	FEQ: "feq", FLT: "flt", FLE: "fle",
+	CVTIF: "cvt.i.f", CVTFI: "cvt.f.i",
+	SYSCALL: "syscall", HALT: "halt", CPUID: "cpuid",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Format describes how an instruction's fields are laid out.
+type Format uint8
+
+const (
+	FormatR Format = iota // r1, r2, r3
+	FormatI               // r1, r2, imm16
+	FormatJ               // imm26
+)
+
+// Format reports the encoding format of op.
+func (op Op) Format() Format {
+	switch op {
+	case ADDI, ANDI, ORI, XORI, SLTI, LUI, SLLI, SRLI, SRAI,
+		LW, SW, LB, SB, LD, SD, LL, SC,
+		BEQ, BNE, BLT, BGE, SYSCALL:
+		return FormatI
+	case J, JAL:
+		return FormatJ
+	default:
+		return FormatR
+	}
+}
+
+// Inst is a decoded KRISC instruction. Field roles depend on the format:
+//
+//	R-format: R1 = destination, R2/R3 = sources (JR/JALR use R2 as target).
+//	I-format: R1 = destination (loads, ALU-imm) or source (stores, branches);
+//	          R2 = base/source register; Imm = sign-extended 16-bit immediate.
+//	J-format: Imm = 26-bit absolute instruction index.
+type Inst struct {
+	Op  Op
+	R1  uint8
+	R2  uint8
+	R3  uint8
+	Imm int32
+}
+
+// Word is a raw 32-bit encoded instruction.
+type Word uint32
+
+// Encode packs an instruction into its 32-bit binary form.
+func Encode(in Inst) (Word, error) {
+	if in.Op >= NumOps {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", in.Op)
+	}
+	if in.R1 > 31 || in.R2 > 31 || in.R3 > 31 {
+		return 0, fmt.Errorf("isa: encode %s: register out of range", in.Op)
+	}
+	w := Word(in.Op) << 26
+	switch in.Op.Format() {
+	case FormatR:
+		w |= Word(in.R1)<<21 | Word(in.R2)<<16 | Word(in.R3)<<11
+	case FormatI:
+		if in.Imm < -32768 || in.Imm > 32767 {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d does not fit in 16 bits", in.Op, in.Imm)
+		}
+		w |= Word(in.R1)<<21 | Word(in.R2)<<16 | Word(uint16(in.Imm))
+	case FormatJ:
+		if in.Imm < 0 || in.Imm >= 1<<26 {
+			return 0, fmt.Errorf("isa: encode %s: target %d does not fit in 26 bits", in.Op, in.Imm)
+		}
+		w |= Word(in.Imm)
+	}
+	return w, nil
+}
+
+// MustEncode is Encode but panics on error; for use in tests and the
+// assembler, which validates fields before encoding.
+func MustEncode(in Inst) Word {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w Word) (Inst, error) {
+	op := Op(w >> 26)
+	if op >= NumOps {
+		return Inst{}, fmt.Errorf("isa: decode: invalid opcode %d in %#08x", uint8(op), uint32(w))
+	}
+	in := Inst{Op: op}
+	switch op.Format() {
+	case FormatR:
+		in.R1 = uint8(w >> 21 & 31)
+		in.R2 = uint8(w >> 16 & 31)
+		in.R3 = uint8(w >> 11 & 31)
+	case FormatI:
+		in.R1 = uint8(w >> 21 & 31)
+		in.R2 = uint8(w >> 16 & 31)
+		in.Imm = int32(int16(w & 0xffff))
+	case FormatJ:
+		in.Imm = int32(w & (1<<26 - 1))
+	}
+	return in, nil
+}
+
+// IsLoad reports whether op reads data memory.
+func (op Op) IsLoad() bool {
+	switch op {
+	case LW, LB, LD, LL:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether op writes data memory. SC is both a store and a
+// producer of an integer result.
+func (op Op) IsStore() bool {
+	switch op {
+	case SW, SB, SD, SC:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses data memory.
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool {
+	switch op {
+	case BEQ, BNE, BLT, BGE:
+		return true
+	}
+	return false
+}
+
+// IsJump reports whether op unconditionally redirects control flow.
+func (op Op) IsJump() bool {
+	switch op {
+	case J, JAL, JR, JALR:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether op can change the PC.
+func (op Op) IsControl() bool { return op.IsBranch() || op.IsJump() }
+
+// IsFPOp reports whether op executes on the floating-point units.
+func (op Op) IsFPOp() bool {
+	switch op {
+	case FADDS, FSUBS, FMULS, FDIVS, FADDD, FSUBD, FMULD, FDIVD,
+		FMOV, FNEG, FEQ, FLT, FLE, CVTIF, CVTFI:
+		return true
+	}
+	return false
+}
+
+// MemBytes reports the access width in bytes of a memory op (0 otherwise).
+func (op Op) MemBytes() uint32 {
+	switch op {
+	case LW, SW, LL, SC:
+		return 4
+	case LB, SB:
+		return 1
+	case LD, SD:
+		return 8
+	}
+	return 0
+}
+
+// Register identifiers in the unified dependence namespace used by the
+// out-of-order model: 0..31 are integer registers, 32..63 are FP registers.
+// RegNone marks "no register".
+const (
+	RegFPBase = 32
+	RegNone   = 255
+)
+
+// Dest returns the destination register of in within the unified
+// namespace, or RegNone. Writes to integer r0 are reported as RegNone
+// because r0 is hardwired to zero.
+func (in Inst) Dest() uint8 {
+	var d uint8 = RegNone
+	switch in.Op {
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, NOR, SLL, SRL, SRA, SLT, SLTU,
+		ADDI, ANDI, ORI, XORI, SLTI, LUI, SLLI, SRLI, SRAI,
+		LW, LB, LL, SC, FEQ, FLT, FLE, CVTFI, CPUID, JALR:
+		d = in.R1
+	case JAL:
+		d = 31 // link register
+	case LD, FADDS, FSUBS, FMULS, FDIVS, FADDD, FSUBD, FMULD, FDIVD, FMOV, FNEG, CVTIF:
+		// FP f0 is a real register, unlike integer r0.
+		return in.R1 + RegFPBase
+	}
+	if d == 0 {
+		return RegNone // integer r0 writes are discarded
+	}
+	return d
+}
+
+// Srcs appends the source registers of in (unified namespace) to dst and
+// returns the result. Integer r0 is omitted: it never creates a dependence.
+func (in Inst) Srcs(dst []uint8) []uint8 {
+	addInt := func(r uint8) {
+		if r != 0 {
+			dst = append(dst, r)
+		}
+	}
+	addFP := func(r uint8) { dst = append(dst, r+RegFPBase) }
+	switch in.Op {
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, NOR, SLL, SRL, SRA, SLT, SLTU:
+		addInt(in.R2)
+		addInt(in.R3)
+	case ADDI, ANDI, ORI, XORI, SLTI, SLLI, SRLI, SRAI:
+		addInt(in.R2)
+	case LUI:
+		// no register sources
+	case LW, LB, LL, LD:
+		addInt(in.R2) // base
+	case SW, SB, SC:
+		addInt(in.R2) // base
+		addInt(in.R1) // data
+	case SD:
+		addInt(in.R2) // base
+		addFP(in.R1)  // data
+	case BEQ, BNE, BLT, BGE:
+		addInt(in.R1)
+		addInt(in.R2)
+	case JR, JALR:
+		addInt(in.R2)
+	case FADDS, FSUBS, FMULS, FDIVS, FADDD, FSUBD, FMULD, FDIVD:
+		addFP(in.R2)
+		addFP(in.R3)
+	case FMOV, FNEG:
+		addFP(in.R2)
+	case FEQ, FLT, FLE:
+		addFP(in.R2)
+		addFP(in.R3)
+	case CVTIF:
+		addInt(in.R2)
+	case CVTFI:
+		addFP(in.R2)
+	}
+	return dst
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch in.Op.Format() {
+	case FormatJ:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case FormatI:
+		switch {
+		case in.Op.IsMem():
+			rc := "r"
+			if in.Op == LD || in.Op == SD {
+				rc = "f"
+			}
+			return fmt.Sprintf("%s %s%d, %d(r%d)", in.Op, rc, in.R1, in.Imm, in.R2)
+		case in.Op.IsBranch():
+			return fmt.Sprintf("%s r%d, r%d, %+d", in.Op, in.R1, in.R2, in.Imm)
+		case in.Op == SYSCALL:
+			return fmt.Sprintf("%s %d", in.Op, in.Imm)
+		case in.Op == LUI:
+			return fmt.Sprintf("%s r%d, %#x", in.Op, in.R1, uint16(in.Imm))
+		default:
+			return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.R1, in.R2, in.Imm)
+		}
+	default: // FormatR
+		switch in.Op {
+		case JR:
+			return fmt.Sprintf("%s r%d", in.Op, in.R2)
+		case JALR:
+			return fmt.Sprintf("%s r%d, r%d", in.Op, in.R1, in.R2)
+		case HALT:
+			return "halt"
+		case CPUID:
+			return fmt.Sprintf("%s r%d", in.Op, in.R1)
+		case FMOV, FNEG:
+			return fmt.Sprintf("%s f%d, f%d", in.Op, in.R1, in.R2)
+		case FEQ, FLT, FLE:
+			return fmt.Sprintf("%s r%d, f%d, f%d", in.Op, in.R1, in.R2, in.R3)
+		case CVTIF:
+			return fmt.Sprintf("%s f%d, r%d", in.Op, in.R1, in.R2)
+		case CVTFI:
+			return fmt.Sprintf("%s r%d, f%d", in.Op, in.R1, in.R2)
+		default:
+			if in.Op.IsFPOp() {
+				return fmt.Sprintf("%s f%d, f%d, f%d", in.Op, in.R1, in.R2, in.R3)
+			}
+			return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.R1, in.R2, in.R3)
+		}
+	}
+}
+
+// Conventional register assignments used by the assembler and guest
+// runtime (the "KRISC ABI").
+const (
+	RegZero = 0 // hardwired zero
+	RegRV   = 2 // return value
+	RegArg0 = 4 // first argument
+	RegArg1 = 5
+	RegArg2 = 6
+	RegArg3 = 7
+	RegSP   = 29 // stack pointer
+	RegGP   = 28 // global pointer (unused by the runtime, free for guests)
+	RegRA   = 31 // return address
+)

@@ -1,0 +1,233 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNumOpsFitsOpcodeField(t *testing.T) {
+	if NumOps > 64 {
+		t.Fatalf("NumOps = %d, does not fit in 6-bit opcode field", NumOps)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: ADD, R1: 1, R2: 2, R3: 3},
+		{Op: ADDI, R1: 5, R2: 6, Imm: -42},
+		{Op: ADDI, R1: 5, R2: 6, Imm: 32767},
+		{Op: ADDI, R1: 5, R2: 6, Imm: -32768},
+		{Op: LW, R1: 9, R2: 29, Imm: 100},
+		{Op: SW, R1: 9, R2: 29, Imm: -4},
+		{Op: LD, R1: 3, R2: 8, Imm: 16},
+		{Op: BEQ, R1: 1, R2: 2, Imm: -7},
+		{Op: J, Imm: 12345},
+		{Op: JAL, Imm: (1 << 26) - 1},
+		{Op: JR, R2: 31},
+		{Op: JALR, R1: 31, R2: 4},
+		{Op: LUI, R1: 7, Imm: 0x7fff},
+		{Op: FADDD, R1: 1, R2: 2, R3: 3},
+		{Op: FEQ, R1: 10, R2: 0, R3: 1},
+		{Op: SYSCALL, Imm: 3},
+		{Op: HALT},
+		{Op: CPUID, R1: 8},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", in, err)
+		}
+		if got != in {
+			t.Errorf("round trip: got %+v, want %+v", got, in)
+		}
+	}
+}
+
+func TestEncodeRejectsBadFields(t *testing.T) {
+	cases := []Inst{
+		{Op: NumOps},
+		{Op: ADD, R1: 32},
+		{Op: ADDI, R1: 1, R2: 2, Imm: 32768},
+		{Op: ADDI, R1: 1, R2: 2, Imm: -32769},
+		{Op: J, Imm: 1 << 26},
+		{Op: J, Imm: -1},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	w := Word(uint32(NumOps) << 26)
+	if _, err := Decode(w); err == nil {
+		t.Errorf("Decode(%#08x) succeeded, want error", uint32(w))
+	}
+}
+
+// randInst generates a random valid instruction for property testing.
+func randInst(r *rand.Rand) Inst {
+	for {
+		op := Op(r.Intn(int(NumOps)))
+		in := Inst{Op: op}
+		switch op.Format() {
+		case FormatR:
+			in.R1 = uint8(r.Intn(32))
+			in.R2 = uint8(r.Intn(32))
+			in.R3 = uint8(r.Intn(32))
+		case FormatI:
+			in.R1 = uint8(r.Intn(32))
+			in.R2 = uint8(r.Intn(32))
+			in.Imm = int32(int16(r.Uint32()))
+		case FormatJ:
+			in.Imm = int32(r.Intn(1 << 26))
+		}
+		return in
+	}
+}
+
+func TestQuickEncodeDecodeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecodeTotalOnValidOpcode(t *testing.T) {
+	// Any word whose opcode field is valid must decode without error and
+	// re-encode to a word that decodes to the same instruction (unused
+	// bits in R-format are not preserved, so we compare decoded forms).
+	f := func(raw uint32) bool {
+		op := Op(raw >> 26)
+		if op >= NumOps {
+			return true // not this property's domain
+		}
+		in, err := Decode(Word(raw))
+		if err != nil {
+			return false
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		in2, err := Decode(w2)
+		return err == nil && in2 == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassificationPredicates(t *testing.T) {
+	if !LW.IsLoad() || !LL.IsLoad() || SW.IsLoad() {
+		t.Error("IsLoad misclassifies")
+	}
+	if !SW.IsStore() || !SC.IsStore() || LW.IsStore() {
+		t.Error("IsStore misclassifies")
+	}
+	if !BEQ.IsBranch() || J.IsBranch() {
+		t.Error("IsBranch misclassifies")
+	}
+	if !J.IsJump() || !JALR.IsJump() || BNE.IsJump() {
+		t.Error("IsJump misclassifies")
+	}
+	if !FADDD.IsFPOp() || !CVTFI.IsFPOp() || ADD.IsFPOp() {
+		t.Error("IsFPOp misclassifies")
+	}
+	if LW.MemBytes() != 4 || LB.MemBytes() != 1 || LD.MemBytes() != 8 || ADD.MemBytes() != 0 {
+		t.Error("MemBytes wrong")
+	}
+}
+
+func TestDestAndSrcs(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		dest uint8
+		srcs []uint8
+	}{
+		{Inst{Op: ADD, R1: 3, R2: 1, R3: 2}, 3, []uint8{1, 2}},
+		{Inst{Op: ADD, R1: 0, R2: 1, R3: 2}, RegNone, []uint8{1, 2}}, // r0 dest discarded
+		{Inst{Op: ADD, R1: 3, R2: 0, R3: 2}, 3, []uint8{2}},          // r0 src omitted
+		{Inst{Op: ADDI, R1: 3, R2: 4, Imm: 1}, 3, []uint8{4}},
+		{Inst{Op: LUI, R1: 3, Imm: 1}, 3, nil},
+		{Inst{Op: LW, R1: 3, R2: 29, Imm: 0}, 3, []uint8{29}},
+		{Inst{Op: SW, R1: 3, R2: 29, Imm: 0}, RegNone, []uint8{29, 3}},
+		{Inst{Op: LD, R1: 3, R2: 29, Imm: 0}, 3 + RegFPBase, []uint8{29}},
+		{Inst{Op: SD, R1: 3, R2: 29, Imm: 0}, RegNone, []uint8{29, 3 + RegFPBase}},
+		{Inst{Op: SC, R1: 3, R2: 29, Imm: 0}, 3, []uint8{29, 3}},
+		{Inst{Op: BEQ, R1: 1, R2: 2, Imm: -1}, RegNone, []uint8{1, 2}},
+		{Inst{Op: JAL, Imm: 7}, 31, nil},
+		{Inst{Op: JR, R2: 31}, RegNone, []uint8{31}},
+		{Inst{Op: JALR, R1: 31, R2: 5}, 31, []uint8{5}},
+		{Inst{Op: FADDD, R1: 1, R2: 2, R3: 3}, 1 + RegFPBase, []uint8{2 + RegFPBase, 3 + RegFPBase}},
+		{Inst{Op: FEQ, R1: 4, R2: 0, R3: 1}, 4, []uint8{RegFPBase, 1 + RegFPBase}},
+		{Inst{Op: CVTIF, R1: 2, R2: 5}, 2 + RegFPBase, []uint8{5}},
+		{Inst{Op: CVTFI, R1: 2, R2: 5}, 2, []uint8{5 + RegFPBase}},
+		{Inst{Op: CPUID, R1: 6}, 6, nil},
+		{Inst{Op: HALT}, RegNone, nil},
+		{Inst{Op: SYSCALL, Imm: 1}, RegNone, nil},
+	}
+	for _, c := range cases {
+		if got := c.in.Dest(); got != c.dest {
+			t.Errorf("%v: Dest = %d, want %d", c.in, got, c.dest)
+		}
+		got := c.in.Srcs(nil)
+		if len(got) != len(c.srcs) {
+			t.Errorf("%v: Srcs = %v, want %v", c.in, got, c.srcs)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.srcs[i] {
+				t.Errorf("%v: Srcs = %v, want %v", c.in, got, c.srcs)
+				break
+			}
+		}
+	}
+}
+
+func TestDisassemblyIsNonEmptyAndDistinct(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); op < NumOps; op++ {
+		s := op.String()
+		if s == "" {
+			t.Fatalf("opcode %d has empty name", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("opcodes %d and %d share name %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+}
+
+func TestInstStringCoversAllOps(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for op := Op(0); op < NumOps; op++ {
+		in := Inst{Op: op}
+		switch op.Format() {
+		case FormatR:
+			in.R1, in.R2, in.R3 = uint8(r.Intn(32)), uint8(r.Intn(32)), uint8(r.Intn(32))
+		case FormatI:
+			in.R1, in.R2, in.Imm = uint8(r.Intn(32)), uint8(r.Intn(32)), int32(r.Intn(100)-50)
+		case FormatJ:
+			in.Imm = int32(r.Intn(1000))
+		}
+		if s := in.String(); s == "" {
+			t.Errorf("op %v: empty disassembly", op)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+// Package kernel is the miniature guest operating system used by the
+// multiprogramming workload (Section 3.2.3). It plays the role IRIX 5.3
+// plays under SimOS, scaled to this simulator: system calls trap into
+// kernel code that executes as real guest instructions in a kernel
+// address region shared by every process, so kernel data structures (the
+// buffer cache, the run queue, process control blocks) generate genuine
+// shared-memory traffic between the CPUs — the effect behind the paper's
+// observation that 16% of non-idle time is kernel time and that the
+// shared-L1 cache "provides overlap of the kernel data structures".
+//
+// Scheduling policy and the context-switch register swap are performed
+// host-side (the substitution is documented in DESIGN.md); the *timing*
+// of kernel work — syscall handlers, PCB save/restore traffic, run-queue
+// updates — comes from executing kernel guest code.
+package kernel
+
+import (
+	"fmt"
+
+	"cmpsim/internal/asm"
+	"cmpsim/internal/core"
+	"cmpsim/internal/cpu"
+	"cmpsim/internal/isa"
+	"cmpsim/internal/mem"
+)
+
+// System call numbers.
+const (
+	SysRead   = 1 // A0 = user buffer, A1 = file id, A2 = offset; RV = first word
+	SysYield  = 2 // voluntarily release the CPU
+	SysExit   = 3 // terminate the calling process
+	sysCommit = 4 // internal: second half of a context switch
+)
+
+// Layout of the kernel region (identity-mapped into every process).
+const (
+	Base     = 0x0040_0000 // kernel text base
+	Limit    = 0x0048_0000 // end of the kernel region
+	NumBuf   = 256         // buffer-cache entries
+	hdrBytes = 16          // per buffer-cache header
+	bufBytes = 128         // per buffer-cache data block
+	BufWords = bufBytes / 4
+	pcbBytes = 160 // 32 GPR save slots + bookkeeping
+)
+
+// RegLink is the register the trap dispatcher places the user return
+// address in; kernel routines return with JR RegLink. R27 (k1 in MIPS
+// convention) is reserved for the kernel by the ABI.
+const RegLink = asm.R27
+
+// Proc is one process: its saved context and address space.
+type Proc struct {
+	Ctx  cpu.Context
+	Done bool
+}
+
+// Kernel is the guest OS instance: trap handler, scheduler and the
+// kernel program.
+type Kernel struct {
+	m    *core.Machine
+	prog *asm.Program
+
+	procs     []*Proc
+	ready     []int  // FIFO run queue of runnable, not-running procs
+	running   []int  // per-CPU current proc index, -1 when idle
+	pending   []int  // per-CPU proc to commit at sysCommit time
+	switching []bool // per-CPU: inside kern_switch (interrupts masked)
+
+	// Statistics.
+	Syscalls    uint64
+	Switches    uint64
+	ExitCount   uint64
+	Preemptions uint64
+}
+
+// BufDataWord returns the deterministic content of word w of buffer
+// cache entry idx — shared with workload mirrors so guest results can be
+// validated.
+func BufDataWord(idx, w int) uint32 {
+	return uint32(idx*2654435761 + w*40503 + 17)
+}
+
+// HashBuf maps (file, offset) to a buffer-cache index, mirroring the
+// guest's hash exactly.
+func HashBuf(file, off uint32) int {
+	return int(file*31+off*7) & (NumBuf - 1)
+}
+
+// Build assembles and loads the kernel, creates nProcs processes that
+// start at entryPC in their own address spaces, installs the trap
+// handler, and creates one hardware context per CPU running the first
+// processes. spaces[i] must map the kernel region identically.
+func Build(m *core.Machine, spaces []mem.Proc, entryPC, userSP uint32) (*Kernel, error) {
+	k := &Kernel{
+		m:         m,
+		running:   make([]int, m.Cfg.NumCPUs),
+		pending:   make([]int, m.Cfg.NumCPUs),
+		switching: make([]bool, m.Cfg.NumCPUs),
+	}
+	prog, err := buildKernelProgram()
+	if err != nil {
+		return nil, err
+	}
+	k.prog = prog
+	m.LoadProgram(prog, 0)
+
+	// Initialize the buffer cache data blocks.
+	dataBase := prog.Addr("kbufdata")
+	for i := 0; i < NumBuf; i++ {
+		for w := 0; w < bufBytes/4; w++ {
+			m.Img.Write32(dataBase+uint32(i*bufBytes+4*w), BufDataWord(i, w))
+		}
+	}
+
+	for i, sp := range spaces {
+		p := &Proc{}
+		p.Ctx.Space = sp
+		p.Ctx.TID = i
+		p.Ctx.PC = entryPC
+		p.Ctx.Regs[isa.RegSP] = userSP
+		p.Ctx.Regs[isa.RegArg0] = uint32(i)
+		k.procs = append(k.procs, p)
+	}
+
+	m.SetTrapHandler(k)
+	n := m.Cfg.NumCPUs
+	for c := 0; c < n; c++ {
+		if c < len(k.procs) {
+			live := k.procs[c].Ctx // copy
+			k.running[c] = c
+			m.AddContext(&live)
+		} else {
+			// No process for this CPU: park it.
+			idle := &cpu.Context{Halted: true, TID: -1, Space: mem.Identity{}}
+			k.running[c] = -1
+			m.AddContext(idle)
+		}
+	}
+	// Remaining processes wait on the run queue.
+	for i := n; i < len(k.procs); i++ {
+		k.ready = append(k.ready, i)
+	}
+	return k, nil
+}
+
+// Prog returns the kernel's assembled program (for address lookups in
+// tests and reports).
+func (k *Kernel) Prog() *asm.Program { return k.prog }
+
+// AllExited reports whether every process has terminated.
+func (k *Kernel) AllExited() bool {
+	for _, p := range k.procs {
+		if !p.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// Syscall implements cpu.TrapHandler. ctx.PC has already been advanced
+// past the SYSCALL instruction by the CPU model.
+func (k *Kernel) Syscall(now uint64, cpuID int, ctx *cpu.Context, num int32) uint64 {
+	k.Syscalls++
+	switch num {
+	case SysRead:
+		// Redirect into the guest buffer-cache read path; it returns to
+		// the user continuation via RegLink.
+		ctx.Regs[RegLink] = ctx.PC
+		ctx.PC = k.prog.Addr("kern_read")
+		return 0
+	case SysYield:
+		if len(k.ready) == 0 {
+			// Nothing else to run; charge a quick run-queue probe.
+			ctx.Regs[RegLink] = ctx.PC
+			ctx.PC = k.prog.Addr("kern_yield_fast")
+			return 0
+		}
+		cur := k.running[cpuID]
+		k.procs[cur].Ctx = *ctx // pristine snapshot, resumes after the syscall
+		k.ready = append(k.ready, cur)
+		k.beginSwitch(cpuID, ctx, cur)
+		return 0
+	case SysExit:
+		cur := k.running[cpuID]
+		k.procs[cur].Done = true
+		k.ExitCount++
+		if len(k.ready) == 0 {
+			k.running[cpuID] = -1
+			ctx.Halted = true
+			return 0
+		}
+		k.beginSwitch(cpuID, ctx, cur)
+		return 0
+	case sysCommit:
+		nxt := k.pending[cpuID]
+		*ctx = k.procs[nxt].Ctx
+		k.running[cpuID] = nxt
+		k.switching[cpuID] = false
+		k.m.Sys.ClearReservation(cpuID)
+		k.Switches++
+		return 0
+	case cpu.IRQ:
+		// Timer preemption. The PC is the resume point (not advanced).
+		if k.switching[cpuID] || k.running[cpuID] < 0 {
+			return 0 // interrupts are masked during a context switch
+		}
+		if len(k.ready) == 0 {
+			return 0 // nothing else to run; skip the reschedule entirely
+		}
+		k.Preemptions++
+		cur := k.running[cpuID]
+		k.procs[cur].Ctx = *ctx
+		k.ready = append(k.ready, cur)
+		k.beginSwitch(cpuID, ctx, cur)
+		return 0
+	}
+	ctx.Faultf("kernel: unknown syscall %d at pc %#x", num, ctx.PC)
+	return 0
+}
+
+// EnablePreemption arms a per-CPU timer: every quantum cycles a CPU
+// receives an interrupt and, if other processes are runnable, is
+// rescheduled through the guest kern_switch path. Timers are staggered
+// across CPUs so the run queue is not hit by all four at once.
+func (k *Kernel) EnablePreemption(quantum uint64) {
+	n := k.m.Cfg.NumCPUs
+	for c := 0; c < n; c++ {
+		c := c
+		var tick func(now uint64)
+		tick = func(now uint64) {
+			if k.AllExited() {
+				return
+			}
+			k.m.RaiseIRQ(c)
+			k.m.Events.Schedule(now+quantum, tick)
+		}
+		k.m.Events.Schedule(quantum+uint64(c)*(quantum/uint64(n)+1), tick)
+	}
+}
+
+// beginSwitch pops the next process and routes the (now disposable)
+// current context through the guest kern_switch routine, which performs
+// the PCB save/restore memory traffic and then traps sysCommit.
+func (k *Kernel) beginSwitch(cpuID int, ctx *cpu.Context, oldProc int) {
+	nxt := k.ready[0]
+	k.ready = k.ready[1:]
+	k.pending[cpuID] = nxt
+	k.switching[cpuID] = true
+	pcbs := k.prog.Addr("kpcbs")
+	ctx.Regs[isa.RegArg0] = pcbs + uint32(oldProc*pcbBytes)
+	ctx.Regs[isa.RegArg1] = pcbs + uint32(nxt*pcbBytes)
+	ctx.PC = k.prog.Addr("kern_switch")
+}
+
+// buildKernelProgram emits the kernel's guest code and data.
+func buildKernelProgram() (*asm.Program, error) {
+	b := asm.NewBuilder()
+
+	// kern_read: buffer-cache lookup and copy-out.
+	//   A0 = user buffer, A1 = file id, A2 = offset, RegLink = return.
+	// Clobbers R8..R15 (kernel-reserved temporaries by our ABI).
+	b.Label("kern_read")
+	// idx = (file*31 + off*7) & (NumBuf-1)
+	b.LI(asm.R8, 31)
+	b.MUL(asm.R9, asm.A1, asm.R8)
+	b.LI(asm.R8, 7)
+	b.MUL(asm.R10, asm.A2, asm.R8)
+	b.ADD(asm.R9, asm.R9, asm.R10)
+	b.ANDI(asm.R9, asm.R9, NumBuf-1)
+	// Walk the hash chain: probe four headers (shared kernel data) the
+	// way a buffer cache checks identity tags along a bucket chain.
+	b.LI(asm.R15, 4)
+	b.MOVE(asm.R8, asm.R9)
+	b.Label("kr_chain")
+	b.SLLI(asm.R10, asm.R8, 4) // * hdrBytes
+	b.LA(asm.R11, "kbufhdr")
+	b.ADD(asm.R10, asm.R11, asm.R10)
+	b.LW(asm.R12, 0, asm.R10) // id tag
+	b.ADDI(asm.R8, asm.R8, 1)
+	b.ANDI(asm.R8, asm.R8, NumBuf-1)
+	b.ADDI(asm.R15, asm.R15, -1)
+	b.BNEZ(asm.R15, "kr_chain")
+	// LRU bump on the hit entry.
+	b.SLLI(asm.R10, asm.R9, 4)
+	b.LA(asm.R11, "kbufhdr")
+	b.ADD(asm.R10, asm.R11, asm.R10)
+	b.LW(asm.R13, 4, asm.R10) // lru
+	b.ADDI(asm.R13, asm.R13, 1)
+	b.SW(asm.R13, 4, asm.R10)
+	// Copy the data block to the user buffer.
+	b.SLLI(asm.R10, asm.R9, 7) // * bufBytes
+	b.LA(asm.R11, "kbufdata")
+	b.ADD(asm.R10, asm.R11, asm.R10)
+	b.LI(asm.R12, BufWords)
+	b.MOVE(asm.R13, asm.A0)
+	b.Label("kr_copy")
+	b.LW(asm.R14, 0, asm.R10)
+	b.SW(asm.R14, 0, asm.R13)
+	b.ADDI(asm.R10, asm.R10, 4)
+	b.ADDI(asm.R13, asm.R13, 4)
+	b.ADDI(asm.R12, asm.R12, -1)
+	b.BNEZ(asm.R12, "kr_copy")
+	// RV = first word of the block (re-read through the user buffer).
+	b.LW(asm.RV, 0, asm.A0)
+	b.JR(RegLink)
+
+	// kern_yield_fast: probe the run queue and return.
+	b.Label("kern_yield_fast")
+	b.LA(asm.R8, "krunq")
+	b.LW(asm.R9, 0, asm.R8)
+	b.ADDI(asm.R9, asm.R9, 1)
+	b.SW(asm.R9, 0, asm.R8)
+	b.JR(RegLink)
+
+	// kern_switch: PCB save/restore traffic, then commit.
+	//   A0 = old PCB, A1 = new PCB. The current register state is
+	//   disposable (the host snapshotted the process at trap time).
+	b.Label("kern_switch")
+	// Save 32 words into the old PCB.
+	b.LI(asm.R8, 32)
+	b.MOVE(asm.R9, asm.A0)
+	b.Label("ks_save")
+	b.SW(asm.R8, 0, asm.R9)
+	b.ADDI(asm.R9, asm.R9, 4)
+	b.ADDI(asm.R8, asm.R8, -1)
+	b.BNEZ(asm.R8, "ks_save")
+	// Run-queue bookkeeping (shared, contended).
+	b.LA(asm.R8, "krunq")
+	b.LW(asm.R9, 4, asm.R8)
+	b.ADDI(asm.R9, asm.R9, 1)
+	b.SW(asm.R9, 4, asm.R8)
+	// Restore 32 words from the new PCB.
+	b.LI(asm.R8, 32)
+	b.MOVE(asm.R9, asm.A1)
+	b.Label("ks_restore")
+	b.LW(asm.R10, 0, asm.R9)
+	b.ADDI(asm.R9, asm.R9, 4)
+	b.ADDI(asm.R8, asm.R8, -1)
+	b.BNEZ(asm.R8, "ks_restore")
+	b.SYSCALL(sysCommit)
+	// Unreachable; the commit handler replaces the context.
+	b.HALT()
+
+	// Kernel data.
+	b.AlignData(32)
+	b.DataLabel("krunq")
+	b.Zero(64)
+	b.AlignData(32)
+	b.DataLabel("kbufhdr")
+	b.Zero(NumBuf * hdrBytes)
+	b.AlignData(32)
+	b.DataLabel("kbufdata")
+	b.Zero(NumBuf * bufBytes)
+	b.AlignData(32)
+	b.DataLabel("kpcbs")
+	b.Zero(16 * pcbBytes) // up to 16 processes
+
+	// Kernel text at Base; kernel data right after (both inside the
+	// identity-mapped kernel region).
+	p, err := b.Assemble(Base, Base+0x10000)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: %w", err)
+	}
+	if p.DataEnd() > Limit {
+		return nil, fmt.Errorf("kernel: image overflows the kernel region")
+	}
+	return p, nil
+}

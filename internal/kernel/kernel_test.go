@@ -1,0 +1,208 @@
+package kernel_test
+
+import (
+	"strings"
+	"testing"
+
+	"cmpsim/internal/asm"
+	"cmpsim/internal/core"
+	"cmpsim/internal/kernel"
+	"cmpsim/internal/mem"
+	"cmpsim/internal/memsys"
+)
+
+// buildUser emits a minimal process: read one file block, add a
+// per-process constant into the block's first word, store it at
+// "result", yield once, then exit.
+func buildUser(yields int) *asm.Program {
+	b := asm.NewBuilder()
+	b.Label("start")
+	b.MOVE(asm.R20, asm.A0) // proc id
+	b.LI(asm.R21, int32(yields))
+	b.Label("loop")
+	b.LA(asm.A0, "buf")
+	b.MOVE(asm.A1, asm.R20) // file = proc id
+	b.LI(asm.A2, 5)         // offset
+	b.SYSCALL(kernel.SysRead)
+	b.LA(asm.R8, "buf")
+	b.LW(asm.R9, 0, asm.R8)
+	b.ADD(asm.R9, asm.R9, asm.R20)
+	b.LA(asm.R10, "result")
+	b.SW(asm.R9, 0, asm.R10)
+	b.SYSCALL(kernel.SysYield)
+	b.ADDI(asm.R21, asm.R21, -1)
+	b.BNEZ(asm.R21, "loop")
+	b.SYSCALL(kernel.SysExit)
+	b.HALT()
+	b.AlignData(4)
+	b.DataLabel("buf")
+	b.Zero(4 * kernel.BufWords)
+	b.DataLabel("result")
+	b.Word32(0)
+	return b.MustAssemble(0x1000, 0x8000)
+}
+
+// rig builds a machine with nProcs processes of the given program.
+func rig(t *testing.T, nProcs, yields int, model core.CPUModel) (*core.Machine, *kernel.Kernel, *asm.Program) {
+	t.Helper()
+	m, err := core.NewMachine(core.SharedMem, model, memsys.DefaultConfig(), 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := buildUser(yields)
+	spaces := make([]mem.Proc, nProcs)
+	for i := range spaces {
+		base := 0x0010_0000 + uint32(i)*0x10000
+		prog.LoadDataAt(m.Img, base)
+		spaces[i] = mem.Proc{
+			TextPhys:    0x0008_0000,
+			TextLimit:   0x8000,
+			DataPhys:    base,
+			UserLimit:   0x10000,
+			KernelStart: kernel.Base,
+			KernelLimit: kernel.Limit,
+		}
+	}
+	m.LoadText(prog, 0x0008_0000)
+	k, err := kernel.Build(m, spaces, prog.Addr("start"), 0xf000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, k, prog
+}
+
+func TestKernelReadCopiesBufferCache(t *testing.T) {
+	m, k, prog := rig(t, 2, 1, core.ModelMipsy)
+	if _, err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !k.AllExited() {
+		t.Fatal("processes did not exit")
+	}
+	for p := 0; p < 2; p++ {
+		idx := kernel.HashBuf(uint32(p), 5)
+		want := kernel.BufDataWord(idx, 0) + uint32(p)
+		base := 0x0010_0000 + uint32(p)*0x10000
+		got := m.Img.Read32(base + (prog.Addr("result") - 0x8000))
+		if got != want {
+			t.Errorf("proc %d result = %#x, want %#x", p, got, want)
+		}
+		// The whole block must have been copied, not just word 0.
+		for w := 1; w < kernel.BufWords; w++ {
+			gotW := m.Img.Read32(base + (prog.Addr("buf") - 0x8000) + uint32(4*w))
+			if gotW != kernel.BufDataWord(idx, w) {
+				t.Fatalf("proc %d buf[%d] = %#x, want %#x", p, w, gotW, kernel.BufDataWord(idx, w))
+			}
+		}
+	}
+}
+
+func TestKernelTimeSharesMoreProcsThanCPUs(t *testing.T) {
+	m, k, _ := rig(t, 7, 3, core.ModelMipsy)
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !k.AllExited() {
+		t.Fatal("processes did not exit")
+	}
+	if k.ExitCount != 7 {
+		t.Errorf("exits = %d, want 7", k.ExitCount)
+	}
+	if k.Switches == 0 {
+		t.Error("expected context switches with 7 procs on 4 CPUs")
+	}
+}
+
+func TestKernelPreemptionRoundRobins(t *testing.T) {
+	// Without voluntary yields (yields=1 means one yield per proc), the
+	// timer must still multiplex 8 procs over 4 CPUs.
+	for _, model := range []core.CPUModel{core.ModelMipsy, core.ModelMXS} {
+		t.Run(string(model), func(t *testing.T) {
+			m, k, _ := rig(t, 8, 2, model)
+			k.EnablePreemption(2000)
+			if _, err := m.Run(100_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if !k.AllExited() {
+				t.Fatal("processes did not exit under preemption")
+			}
+			if k.Preemptions == 0 {
+				t.Error("no preemptions happened with a 2000-cycle quantum")
+			}
+		})
+	}
+}
+
+func TestKernelPreemptionPreservesResults(t *testing.T) {
+	// The same workload with and without aggressive preemption must
+	// compute identical results (only timing may differ).
+	run := func(pre bool) []uint32 {
+		m, k, prog := rig(t, 6, 4, core.ModelMipsy)
+		if pre {
+			k.EnablePreemption(1500)
+		}
+		if _, err := m.Run(100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		var out []uint32
+		for p := 0; p < 6; p++ {
+			base := 0x0010_0000 + uint32(p)*0x10000
+			out = append(out, m.Img.Read32(base+(prog.Addr("result")-0x8000)))
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("proc %d: result differs under preemption: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBufDataDeterministic(t *testing.T) {
+	if kernel.BufDataWord(3, 7) != kernel.BufDataWord(3, 7) {
+		t.Error("BufDataWord not deterministic")
+	}
+	if kernel.HashBuf(1, 2) < 0 || kernel.HashBuf(1, 2) >= kernel.NumBuf {
+		t.Error("HashBuf out of range")
+	}
+	// The hash must actually spread.
+	seen := map[int]bool{}
+	for f := uint32(0); f < 16; f++ {
+		for o := uint32(0); o < 16; o++ {
+			seen[kernel.HashBuf(f, o)] = true
+		}
+	}
+	if len(seen) < 32 {
+		t.Errorf("hash covers only %d buckets", len(seen))
+	}
+}
+
+func TestUnknownSyscallFaults(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("start")
+	b.SYSCALL(99)
+	b.HALT()
+	prog := b.MustAssemble(0x1000, 0x8000)
+	m, err := core.NewMachine(core.SharedMem, core.ModelMipsy, memsys.DefaultConfig(), 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.LoadDataAt(m.Img, 0x0010_0000)
+	m.LoadText(prog, 0x0008_0000)
+	sp := mem.Proc{
+		TextPhys: 0x0008_0000, TextLimit: 0x8000,
+		DataPhys: 0x0010_0000, UserLimit: 0x10000,
+		KernelStart: kernel.Base, KernelLimit: kernel.Limit,
+	}
+	if _, err := kernel.Build(m, []mem.Proc{sp}, prog.Addr("start"), 0xf000); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(1_000_000)
+	if err == nil {
+		t.Fatal("expected a fault for the unknown syscall")
+	}
+	if want := "unknown syscall"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}

@@ -1,0 +1,159 @@
+// Package mem provides the simulated physical memory image and the
+// address-space translation used by guest contexts.
+//
+// The memory image is purely functional: it holds the bytes the guest
+// programs operate on. All timing (caches, buses, contention) is modelled
+// separately by the memory-system packages, which see only addresses.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Image is a flat simulated physical memory. Accessors panic on
+// out-of-range or misaligned addresses: guest programs are part of the
+// simulator's own test corpus, so such an access is a bug in the
+// simulator or a workload, not a recoverable guest error.
+type Image struct {
+	data []byte
+}
+
+// NewImage allocates a zeroed physical memory of the given size in bytes.
+func NewImage(size uint32) *Image {
+	return &Image{data: make([]byte, size)}
+}
+
+// Size returns the physical memory size in bytes.
+func (m *Image) Size() uint32 { return uint32(len(m.data)) }
+
+// Snapshot returns a copy of the entire physical memory (for
+// checkpointing).
+func (m *Image) Snapshot() []byte {
+	return append([]byte(nil), m.data...)
+}
+
+// RestoreSnapshot replaces the memory contents with a snapshot of the
+// same size.
+func (m *Image) RestoreSnapshot(data []byte) error {
+	if len(data) != len(m.data) {
+		return fmt.Errorf("mem: snapshot size %d does not match memory size %d", len(data), len(m.data))
+	}
+	copy(m.data, data)
+	return nil
+}
+
+func (m *Image) check(addr, n uint32, what string) {
+	if uint64(addr)+uint64(n) > uint64(len(m.data)) {
+		panic(fmt.Sprintf("mem: %s at %#x (size %d) out of range (memory %d bytes)", what, addr, n, len(m.data)))
+	}
+	if addr%n != 0 {
+		panic(fmt.Sprintf("mem: misaligned %s at %#x (size %d)", what, addr, n))
+	}
+}
+
+// Read8 reads one byte.
+func (m *Image) Read8(addr uint32) uint8 {
+	m.check(addr, 1, "read8")
+	return m.data[addr]
+}
+
+// Write8 writes one byte.
+func (m *Image) Write8(addr uint32, v uint8) {
+	m.check(addr, 1, "write8")
+	m.data[addr] = v
+}
+
+// Read32 reads a 32-bit little-endian word. addr must be 4-byte aligned.
+func (m *Image) Read32(addr uint32) uint32 {
+	m.check(addr, 4, "read32")
+	return binary.LittleEndian.Uint32(m.data[addr:])
+}
+
+// Write32 writes a 32-bit little-endian word. addr must be 4-byte aligned.
+func (m *Image) Write32(addr uint32, v uint32) {
+	m.check(addr, 4, "write32")
+	binary.LittleEndian.PutUint32(m.data[addr:], v)
+}
+
+// Read64 reads a 64-bit little-endian word. addr must be 8-byte aligned.
+func (m *Image) Read64(addr uint32) uint64 {
+	m.check(addr, 8, "read64")
+	return binary.LittleEndian.Uint64(m.data[addr:])
+}
+
+// Write64 writes a 64-bit little-endian word. addr must be 8-byte aligned.
+func (m *Image) Write64(addr uint32, v uint64) {
+	m.check(addr, 8, "write64")
+	binary.LittleEndian.PutUint64(m.data[addr:], v)
+}
+
+// ReadF64 reads a float64.
+func (m *Image) ReadF64(addr uint32) float64 {
+	return math.Float64frombits(m.Read64(addr))
+}
+
+// WriteF64 writes a float64.
+func (m *Image) WriteF64(addr uint32, v float64) {
+	m.Write64(addr, math.Float64bits(v))
+}
+
+// Space translates a guest virtual address to a physical address.
+// Implementations must be deterministic and side-effect free.
+type Space interface {
+	// Translate maps a virtual address to physical. ok is false if the
+	// address is unmapped; the CPU models treat that as a fatal guest
+	// fault.
+	Translate(vaddr uint32) (paddr uint32, ok bool)
+}
+
+// Identity maps virtual addresses 1:1 onto physical addresses below
+// Limit. It is the space used by the parallel applications, which share
+// one address space across all CPUs as threads of one process.
+type Identity struct {
+	Limit uint32
+}
+
+// Translate implements Space.
+func (s Identity) Translate(v uint32) (uint32, bool) {
+	if v >= s.Limit {
+		return 0, false
+	}
+	return v, true
+}
+
+// Proc is the address space of one process in the multiprogramming
+// workload: a text segment shared by every process running the same
+// binary (as an OS shares a program's text pages), a private data/stack
+// segment relocated by base-and-bound, and the shared kernel segment
+// mapped identically for every process (the kernel is mapped into every
+// address space, as in IRIX).
+//
+// Virtual layout:
+//
+//	[0, TextLimit)              -> [TextPhys, TextPhys+TextLimit)      (shared)
+//	[TextLimit, UserLimit)      -> [DataPhys, ...)                      (private)
+//	[KernelStart, KernelLimit)  -> identity                             (shared)
+type Proc struct {
+	TextPhys    uint32
+	TextLimit   uint32
+	DataPhys    uint32
+	UserLimit   uint32
+	KernelStart uint32
+	KernelLimit uint32
+}
+
+// Translate implements Space.
+func (s Proc) Translate(v uint32) (uint32, bool) {
+	if v < s.TextLimit {
+		return s.TextPhys + v, true
+	}
+	if v < s.UserLimit {
+		return s.DataPhys + (v - s.TextLimit), true
+	}
+	if v >= s.KernelStart && v < s.KernelLimit {
+		return v, true
+	}
+	return 0, false
+}

@@ -1,0 +1,121 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImageReadWriteWidths(t *testing.T) {
+	m := NewImage(64)
+	m.Write8(1, 0xab)
+	if got := m.Read8(1); got != 0xab {
+		t.Errorf("Read8 = %#x, want 0xab", got)
+	}
+	m.Write32(4, 0xdeadbeef)
+	if got := m.Read32(4); got != 0xdeadbeef {
+		t.Errorf("Read32 = %#x, want 0xdeadbeef", got)
+	}
+	m.Write64(8, 0x0123456789abcdef)
+	if got := m.Read64(8); got != 0x0123456789abcdef {
+		t.Errorf("Read64 = %#x", got)
+	}
+	m.WriteF64(16, 3.25)
+	if got := m.ReadF64(16); got != 3.25 {
+		t.Errorf("ReadF64 = %v, want 3.25", got)
+	}
+	// Little-endian byte order.
+	m.Write32(20, 0x11223344)
+	if m.Read8(20) != 0x44 || m.Read8(23) != 0x11 {
+		t.Error("Write32 not little-endian")
+	}
+}
+
+func TestImagePanicsOnBadAccess(t *testing.T) {
+	m := NewImage(16)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("oob read8", func() { m.Read8(16) })
+	mustPanic("oob write32", func() { m.Write32(16, 0) })
+	mustPanic("misaligned read32", func() { m.Read32(2) })
+	mustPanic("misaligned read64", func() { m.Read64(4) })
+	mustPanic("oob read64 straddling end", func() { m.Read64(12) })
+}
+
+func TestIdentitySpace(t *testing.T) {
+	s := Identity{Limit: 0x1000}
+	if p, ok := s.Translate(0); !ok || p != 0 {
+		t.Errorf("Translate(0) = %#x,%v", p, ok)
+	}
+	if p, ok := s.Translate(0xfff); !ok || p != 0xfff {
+		t.Errorf("Translate(0xfff) = %#x,%v", p, ok)
+	}
+	if _, ok := s.Translate(0x1000); ok {
+		t.Error("Translate(limit) should fail")
+	}
+}
+
+func TestProcSpace(t *testing.T) {
+	s := Proc{
+		TextPhys: 0x50000, TextLimit: 0x2000,
+		DataPhys: 0x10000, UserLimit: 0x4000,
+		KernelStart: 0xf0000, KernelLimit: 0xf8000,
+	}
+	if p, ok := s.Translate(0x100); !ok || p != 0x50100 {
+		t.Errorf("text Translate = %#x,%v", p, ok)
+	}
+	if p, ok := s.Translate(0x2100); !ok || p != 0x10100 {
+		t.Errorf("data Translate = %#x,%v", p, ok)
+	}
+	if _, ok := s.Translate(0x4000); ok {
+		t.Error("above user limit should fail")
+	}
+	if p, ok := s.Translate(0xf0010); !ok || p != 0xf0010 {
+		t.Errorf("kernel Translate = %#x,%v", p, ok)
+	}
+	if _, ok := s.Translate(0xf8000); ok {
+		t.Error("above kernel limit should fail")
+	}
+	if _, ok := s.Translate(0x80000); ok {
+		t.Error("hole between segments should fail")
+	}
+}
+
+func TestQuickProcMappingIsPiecewiseLinear(t *testing.T) {
+	s := Proc{
+		TextPhys: 0x80000, TextLimit: 0x4000,
+		DataPhys: 0x40000, UserLimit: 0x10000,
+		KernelStart: 0x100000, KernelLimit: 0x110000,
+	}
+	f := func(v uint32) bool {
+		v %= s.UserLimit
+		p, ok := s.Translate(v)
+		if !ok {
+			return false
+		}
+		if v < s.TextLimit {
+			return p == s.TextPhys+v
+		}
+		return p == s.DataPhys+(v-s.TextLimit)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickImage32RoundTrip(t *testing.T) {
+	m := NewImage(1 << 12)
+	f := func(addr, v uint32) bool {
+		addr = (addr % (m.Size() / 4)) * 4
+		m.Write32(addr, v)
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

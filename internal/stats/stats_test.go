@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"cmpsim/internal/core"
+	"cmpsim/internal/cpu"
+	"cmpsim/internal/memsys"
+)
+
+func fakeRun(arch core.Arch, cycles uint64, perCPU []cpu.StallStats) *core.RunResult {
+	return &core.RunResult{
+		Arch:      arch,
+		Model:     core.ModelMipsy,
+		Cycles:    cycles,
+		PerCPU:    perCPU,
+		MemReport: memsys.Report{},
+	}
+}
+
+func TestFromRunAveragesAcrossCPUs(t *testing.T) {
+	var a, b cpu.StallStats
+	a.DStall[memsys.LvlL2] = 100
+	b.DStall[memsys.LvlL2] = 300
+	a.IStall[memsys.LvlMem] = 50
+	b.IStall[memsys.LvlMem] = 150
+	r := fakeRun(core.SharedMem, 1000, []cpu.StallStats{a, b})
+	bd := FromRun(r)
+	if bd.DL2 != 200 {
+		t.Errorf("DL2 = %v, want 200", bd.DL2)
+	}
+	if bd.IStall != 100 {
+		t.Errorf("IStall = %v, want 100", bd.IStall)
+	}
+	if bd.CPU != 1000-200-100 {
+		t.Errorf("CPU = %v", bd.CPU)
+	}
+	if bd.MemStall() != 200 {
+		t.Errorf("MemStall = %v", bd.MemStall())
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	b := Breakdown{Total: 500, CPU: 300, DL2: 200}
+	base := Breakdown{Total: 1000}
+	n := b.Normalized(base)
+	if n.Total != 0.5 || n.CPU != 0.3 || n.DL2 != 0.2 {
+		t.Errorf("normalized = %+v", n)
+	}
+	// Zero base: identity.
+	if got := b.Normalized(Breakdown{}); got != b {
+		t.Error("zero base should return b unchanged")
+	}
+}
+
+func TestBuildFigureOrdersAndNormalizes(t *testing.T) {
+	runs := map[core.Arch]*core.RunResult{
+		core.SharedL1:  fakeRun(core.SharedL1, 500, make([]cpu.StallStats, 4)),
+		core.SharedL2:  fakeRun(core.SharedL2, 800, make([]cpu.StallStats, 4)),
+		core.SharedMem: fakeRun(core.SharedMem, 1000, make([]cpu.StallStats, 4)),
+	}
+	fig := BuildFigure("Figure X", "test", core.ModelMipsy, runs)
+	if len(fig.Rows) != 3 {
+		t.Fatalf("rows = %d", len(fig.Rows))
+	}
+	if fig.Rows[0].Arch != core.SharedL1 || fig.Rows[2].Arch != core.SharedMem {
+		t.Error("rows not in canonical order")
+	}
+	if fig.Rows[0].Norm.Total != 0.5 || fig.Rows[0].Speedup != 2.0 {
+		t.Errorf("normalization wrong: %+v", fig.Rows[0])
+	}
+	s := fig.String()
+	if !strings.Contains(s, "Figure X") || !strings.Contains(s, "shared-l1") {
+		t.Errorf("rendered figure missing content:\n%s", s)
+	}
+}
+
+func TestChartRendersBars(t *testing.T) {
+	var busy cpu.StallStats
+	busy.DStall[memsys.LvlC2C] = 400
+	runs := map[core.Arch]*core.RunResult{
+		core.SharedL1:  fakeRun(core.SharedL1, 500, make([]cpu.StallStats, 1)),
+		core.SharedL2:  fakeRun(core.SharedL2, 750, make([]cpu.StallStats, 1)),
+		core.SharedMem: fakeRun(core.SharedMem, 1000, []cpu.StallStats{busy}),
+	}
+	chart := BuildFigure("Fig", "w", core.ModelMipsy, runs).Chart()
+	lines := strings.Split(strings.TrimRight(chart, "\n"), "\n")
+	// Header + 3 bars + legend.
+	if len(lines) != 5 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), chart)
+	}
+	// The baseline bar must be about 60 columns and contain the c2c fill.
+	base := lines[3]
+	if !strings.Contains(base, "x") {
+		t.Errorf("baseline bar missing c2c fill: %q", base)
+	}
+	if n := strings.Count(base, "c") + strings.Count(base, "x"); n < 58 || n > 62 {
+		t.Errorf("baseline bar is %d columns, want ~60", n)
+	}
+	// The shared-L1 bar must be about half as long.
+	l1 := lines[1]
+	if n := strings.Count(l1, "c"); n < 28 || n > 32 {
+		t.Errorf("shared-l1 bar is %d columns, want ~30", n)
+	}
+}
+
+func TestBuildFigureRequiresBaseline(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic without a shared-mem baseline")
+		}
+	}()
+	BuildFigure("x", "w", core.ModelMipsy, map[core.Arch]*core.RunResult{
+		core.SharedL1: fakeRun(core.SharedL1, 1, nil),
+	})
+}
+
+func TestIPCBreakdownApportionsLoss(t *testing.T) {
+	var s cpu.StallStats
+	s.Instructions = 1000
+	s.IStall[memsys.LvlL2] = 100
+	s.DStall[memsys.LvlMem] = 200
+	s.PipeStall = 100
+	r := fakeRun(core.SharedL1, 1000, []cpu.StallStats{s, {}, {}, {}})
+	row := IPCBreakdown(r)
+	// Per-CPU IPC = 1000 insts / 1000 cycles / 4 CPUs = 0.25.
+	if row.IPC != 0.25 {
+		t.Fatalf("IPC = %v", row.IPC)
+	}
+	loss := 2.0 - 0.25
+	if got := row.LossI + row.LossD + row.LossPipe; !almost(got, loss) {
+		t.Errorf("loss total = %v, want %v", got, loss)
+	}
+	if !almost(row.LossD, loss*0.5) {
+		t.Errorf("LossD = %v, want half of loss", row.LossD)
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestMissRatesFrom(t *testing.T) {
+	var rep memsys.Report
+	rep.L1D.Reads = 80
+	rep.L1D.Writes = 20
+	rep.L1D.ReadMisses = 8
+	rep.L1D.WriteMisses = 2
+	rep.L1D.InvMisses = 4
+	rep.L2.Reads = 10
+	rep.L2.ReadMisses = 5
+	m := MissRatesFrom(rep)
+	if !almost(m.L1R, 0.06) || !almost(m.L1I, 0.04) {
+		t.Errorf("L1 rates = %+v", m)
+	}
+	if !almost(m.L2R, 0.5) || m.L2I != 0 {
+		t.Errorf("L2 rates = %+v", m)
+	}
+}

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"testing"
+
+	"cmpsim/internal/core"
+)
+
+func smallEar() *Ear {
+	return NewEar(EarParams{Channels: 16, Samples: 60})
+}
+
+func TestEarValidatesOnAllArchitectures(t *testing.T) {
+	for _, arch := range core.Arches() {
+		t.Run(string(arch), func(t *testing.T) {
+			if _, err := Run(smallEar(), arch, core.ModelMipsy, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestEarSharingCharacteristics(t *testing.T) {
+	// Figure 8: Ear has a negligible L1 miss rate on the shared-L1
+	// architecture (the whole working set fits), and the highest L1
+	// invalidation miss rate of the applications on the private-L1
+	// architectures.
+	r1, err := Run(NewEar(EarParams{Samples: 500}), core.SharedL1, core.ModelMipsy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := r1.MemReport.L1D.MissRate(); rate > 0.01 {
+		t.Errorf("shared-L1 miss rate = %.4f, want negligible", rate)
+	}
+	rm, err := Run(NewEar(EarParams{Samples: 500}), core.SharedMem, core.ModelMipsy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := rm.MemReport.L1D
+	if mr.InvMisses == 0 {
+		t.Error("shared-memory should see invalidation misses from the cascade")
+	}
+	if mr.InvRate() < mr.ReplRate() {
+		t.Errorf("invalidations (%.4f) should dominate replacements (%.4f) in ear",
+			mr.InvRate(), mr.ReplRate())
+	}
+	if r1.Cycles >= rm.Cycles {
+		t.Errorf("shared-L1 (%d cycles) should beat shared-memory (%d) on ear",
+			r1.Cycles, rm.Cycles)
+	}
+}

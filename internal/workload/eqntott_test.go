@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+
+	"cmpsim/internal/core"
+)
+
+// smallEqntott is quick enough to run on all three architectures in a
+// unit test.
+func smallEqntott() *Eqntott {
+	return NewEqntott(EqntottParams{Words: 64, Iters: 40})
+}
+
+func TestEqntottValidatesOnAllArchitectures(t *testing.T) {
+	for _, arch := range core.Arches() {
+		t.Run(string(arch), func(t *testing.T) {
+			res, err := Run(smallEqntott(), arch, core.ModelMipsy, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles == 0 || res.Instructions() == 0 {
+				t.Fatalf("empty result: %+v", res)
+			}
+		})
+	}
+}
+
+func TestEqntottSharedL1CommunicatesCheaply(t *testing.T) {
+	// The defining property of Figure 4: the shared-L1 architecture sees
+	// (almost) no invalidation misses while the private-L1 architectures
+	// pay for the master-to-slave vector transfer, and shared-L1 finishes
+	// faster than shared-memory.
+	w1 := smallEqntott()
+	r1, err := Run(w1, core.SharedL1, core.ModelMipsy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := smallEqntott()
+	rm, err := Run(wm, core.SharedMem, core.ModelMipsy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MemReport.L1D.InvMisses != 0 {
+		t.Errorf("shared-L1 has %d invalidation misses; a single shared cache has none",
+			r1.MemReport.L1D.InvMisses)
+	}
+	if rm.MemReport.L1D.InvMisses == 0 {
+		t.Error("shared-memory should suffer invalidation misses from master writes")
+	}
+	if r1.Cycles >= rm.Cycles {
+		t.Errorf("shared-L1 (%d cycles) should beat shared-memory (%d cycles) on eqntott",
+			r1.Cycles, rm.Cycles)
+	}
+}
+
+func TestEqntottDeterministic(t *testing.T) {
+	r1, err := Run(smallEqntott(), core.SharedL2, core.ModelMipsy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(smallEqntott(), core.SharedL2, core.ModelMipsy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Instructions() != r2.Instructions() {
+		t.Errorf("nondeterministic: %d/%d vs %d/%d cycles/insts",
+			r1.Cycles, r1.Instructions(), r2.Cycles, r2.Instructions())
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no workloads registered")
+	}
+	for _, n := range names {
+		w, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name() != n {
+			t.Errorf("workload %q reports name %q", n, w.Name())
+		}
+		if w.Description() == "" || w.MemBytes() == 0 || w.Threads() == 0 {
+			t.Errorf("workload %q has empty metadata", n)
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("unknown workload should error")
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"cmpsim/internal/core"
+)
+
+func smallFFT() *FFT {
+	return NewFFT(FFTParams{N: 32, Batches: 8})
+}
+
+func TestFFTValidatesOnAllArchitectures(t *testing.T) {
+	for _, arch := range core.Arches() {
+		t.Run(string(arch), func(t *testing.T) {
+			if _, err := Run(smallFFT(), arch, core.ModelMipsy, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFFTMirrorIsActuallyAnFFT checks the mirror against a direct DFT,
+// so the guest isn't just matching a buggy reference.
+func TestFFTMirrorIsActuallyAnFFT(t *testing.T) {
+	w := NewFFT(FFTParams{N: 16, Batches: 1})
+	in := w.inputs()[0]
+	out := append([]float64(nil), in...)
+	w.fftMirror(out, w.twiddles(), w.revTable())
+	n := w.N
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			x := complex(in[2*j], in[2*j+1])
+			want += x * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/float64(n)))
+		}
+		got := complex(out[2*k], out[2*k+1])
+		if cmplx.Abs(got-want) > 1e-9 {
+			t.Fatalf("bin %d: got %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestFFTNoReadWriteSharing(t *testing.T) {
+	// Figure 9: FFT has low L1R and (almost) no invalidation misses —
+	// the vectors are private and the tables read-only.
+	w := NewFFT(FFTParams{N: 64, Batches: 8})
+	r, err := Run(w, core.SharedMem, core.ModelMipsy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := r.MemReport.L1D
+	if mr.InvRate() > 0.005 {
+		t.Errorf("L1 invalidation rate = %.4f, want ~0", mr.InvRate())
+	}
+}
+
+func TestFFTRejectsBadParams(t *testing.T) {
+	m := newTestMachine(t, core.SharedMem)
+	if err := NewFFT(FFTParams{N: 48}).Configure(m); err == nil {
+		t.Error("non-power-of-two N should error")
+	}
+	m2 := newTestMachine(t, core.SharedMem)
+	if err := NewFFT(FFTParams{N: 32, Batches: 7}).Configure(m2); err == nil {
+		t.Error("odd batch count should error")
+	}
+}

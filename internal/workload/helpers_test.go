@@ -1,0 +1,18 @@
+package workload
+
+import (
+	"testing"
+
+	"cmpsim/internal/core"
+	"cmpsim/internal/memsys"
+)
+
+// newTestMachine builds a bare machine for Configure-level tests.
+func newTestMachine(t *testing.T, arch core.Arch) *core.Machine {
+	t.Helper()
+	m, err := core.NewMachine(arch, core.ModelMipsy, memsys.DefaultConfig(), MemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

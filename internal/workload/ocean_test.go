@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"testing"
+
+	"cmpsim/internal/core"
+)
+
+func smallOcean() *Ocean {
+	return NewOcean(OceanParams{N: 18, FineIter: 3, CoarseIt: 3})
+}
+
+func TestOceanValidatesOnAllArchitectures(t *testing.T) {
+	for _, arch := range core.Arches() {
+		t.Run(string(arch), func(t *testing.T) {
+			if _, err := Run(smallOcean(), arch, core.ModelMipsy, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestOceanOddIterationParity(t *testing.T) {
+	// FineIter/CoarseIt odd exercises the other buffer-parity paths.
+	w := NewOcean(OceanParams{N: 18, FineIter: 2, CoarseIt: 1})
+	if _, err := Run(w, core.SharedMem, core.ModelMipsy, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOceanReplacementMissesDominateEverywhere(t *testing.T) {
+	// Figure 6: Ocean causes large numbers of L1R misses on all three
+	// architectures; communication (invalidation) misses are a small
+	// fraction because only subgrid boundaries are shared.
+	for _, arch := range core.Arches() {
+		w := NewOcean(OceanParams{N: 66, FineIter: 2, CoarseIt: 1})
+		r, err := Run(w, arch, core.ModelMipsy, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1 := r.MemReport.L1D
+		if l1.ReplMisses() < 5*l1.InvMisses {
+			t.Errorf("%s: expected replacement-dominated misses, got repl=%d inv=%d",
+				arch, l1.ReplMisses(), l1.InvMisses)
+		}
+	}
+}

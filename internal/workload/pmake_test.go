@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"testing"
+
+	"cmpsim/internal/core"
+)
+
+func smallPmake() *Pmake {
+	return NewPmake(PmakeParams{Procs: 6, Funcs: 24, Passes: 3})
+}
+
+func TestPmakeValidatesOnAllArchitectures(t *testing.T) {
+	for _, arch := range core.Arches() {
+		t.Run(string(arch), func(t *testing.T) {
+			if _, err := Run(smallPmake(), arch, core.ModelMipsy, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPmakeSchedulesAllProcesses(t *testing.T) {
+	w := smallPmake()
+	if _, err := Run(w, core.SharedMem, core.ModelMipsy, nil); err != nil {
+		t.Fatal(err)
+	}
+	k := w.Kernel()
+	if !k.AllExited() {
+		t.Fatal("processes left unfinished")
+	}
+	if k.ExitCount != uint64(w.Procs) {
+		t.Errorf("exits = %d, want %d", k.ExitCount, w.Procs)
+	}
+	// With 6 processes on 4 CPUs and per-pass yields, real context
+	// switches must have happened.
+	if k.Switches == 0 {
+		t.Error("no context switches happened")
+	}
+	if k.Syscalls == 0 {
+		t.Error("no syscalls recorded")
+	}
+}
+
+func TestPmakeInstructionWorkingSetStressesICache(t *testing.T) {
+	// Figure 10: the multiprogramming workload is the only one with a
+	// large instruction working set; the I-cache must actually miss.
+	w := NewPmake(PmakeParams{Procs: 4, Funcs: 96, Passes: 2})
+	r, err := Run(w, core.SharedMem, core.ModelMipsy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemReport.L1I.Misses() == 0 {
+		t.Fatal("no instruction cache misses")
+	}
+	if rate := r.MemReport.L1I.MissRate(); rate < 0.001 {
+		t.Errorf("I-cache miss rate %.5f too low for a gcc-like footprint", rate)
+	}
+}
+
+func TestPmakeFewerProcsThanCPUs(t *testing.T) {
+	// Two processes on four CPUs: the two spare CPUs park immediately.
+	w := NewPmake(PmakeParams{Procs: 2, Funcs: 8, Passes: 2})
+	if _, err := Run(w, core.SharedL1, core.ModelMipsy, nil); err != nil {
+		t.Fatal(err)
+	}
+}

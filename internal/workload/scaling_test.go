@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"testing"
+
+	"cmpsim/internal/core"
+	"cmpsim/internal/memsys"
+)
+
+// TestCMPScaling runs the SPMD workloads at 2, 4 and 8 CPUs: results
+// must still validate and more processors must not slow the fixed-size
+// problem down outright.
+func TestCMPScaling(t *testing.T) {
+	mks := map[string]func() Workload{
+		"eqntott": func() Workload { return NewEqntott(EqntottParams{Words: 64, Iters: 20}) },
+		"ear":     func() Workload { return NewEar(EarParams{Channels: 32, Samples: 40}) },
+		"fft":     func() Workload { return NewFFT(FFTParams{N: 32, Batches: 8}) },
+		"volpack": func() Workload { return NewVolpack(VolpackParams{Size: 16, Depth: 4}) },
+		"mp3d":    func() Workload { return NewMP3D(MP3DParams{Particles: 512, Steps: 1, Grid: 8}) },
+	}
+	for name, mk := range mks {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			cycles := map[int]uint64{}
+			for _, n := range []int{2, 4, 8} {
+				cfg := memsys.DefaultConfig()
+				cfg.NumCPUs = n
+				res, err := Run(mk(), core.SharedL2, core.ModelMipsy, &cfg)
+				if err != nil {
+					t.Fatalf("%d CPUs: %v", n, err)
+				}
+				cycles[n] = res.Cycles
+			}
+			// Coarse-grained workloads must actually speed up with more
+			// CPUs; fine-grained ones (eqntott's master-serial transmit,
+			// ear's per-sample barriers) legitimately may not, so for
+			// those only completion + validation is asserted.
+			if name == "fft" || name == "mp3d" {
+				if cycles[8] >= cycles[2] {
+					t.Errorf("8 CPUs (%d cycles) not faster than 2 CPUs (%d)", cycles[8], cycles[2])
+				}
+			}
+		})
+	}
+}
+
+// TestScalingValidatesResultsAtEveryWidth double-checks the Go-reference
+// validation at a non-default width on all three architectures.
+func TestScalingValidatesResultsAtEveryWidth(t *testing.T) {
+	for _, arch := range core.Arches() {
+		cfg := memsys.DefaultConfig()
+		cfg.NumCPUs = 8
+		w := NewEar(EarParams{Channels: 32, Samples: 40})
+		if _, err := Run(w, arch, core.ModelMipsy, &cfg); err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+	}
+}
+
+// TestOceanRowStripDecomposition: at processor counts other than 4,
+// Ocean falls back to row strips and must still validate bit-for-bit.
+func TestOceanRowStripDecomposition(t *testing.T) {
+	for _, n := range []int{2, 8} {
+		cfg := memsys.DefaultConfig()
+		cfg.NumCPUs = n
+		w := NewOcean(OceanParams{N: 18, FineIter: 3, CoarseIt: 2})
+		if _, err := Run(w, core.SharedMem, core.ModelMipsy, &cfg); err != nil {
+			t.Fatalf("%d CPUs: %v", n, err)
+		}
+	}
+	// Indivisible interiors are rejected.
+	cfg := memsys.DefaultConfig()
+	cfg.NumCPUs = 6
+	if _, err := Run(NewOcean(OceanParams{N: 18, FineIter: 2, CoarseIt: 1}), core.SharedMem, core.ModelMipsy, &cfg); err == nil {
+		t.Error("interior 16 does not divide into 6 strips; expected an error")
+	}
+}
+
+// TestMP3DRejectsTooManyCPUs documents the collision-buffer layout bound.
+func TestMP3DRejectsTooManyCPUs(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	cfg.NumCPUs = 16
+	if _, err := Run(smallMP3D(), core.SharedL1, core.ModelMipsy, &cfg); err == nil {
+		t.Error("mp3d must reject more than 8 CPUs")
+	}
+}

@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"testing"
+
+	"cmpsim/internal/core"
+)
+
+func smallVolpack() *Volpack {
+	return NewVolpack(VolpackParams{Size: 16, Depth: 8})
+}
+
+func TestVolpackValidatesOnAllArchitectures(t *testing.T) {
+	for _, arch := range core.Arches() {
+		t.Run(string(arch), func(t *testing.T) {
+			if _, err := Run(smallVolpack(), arch, core.ModelMipsy, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestVolpackLowMissRates(t *testing.T) {
+	// Figure 7: Volpack is characterized by a low L1R miss rate (~1%)
+	// and a negligible L1I rate.
+	w := NewVolpack(VolpackParams{})
+	r, err := Run(w, core.SharedMem, core.ModelMipsy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := r.MemReport.L1D
+	if rate := mr.ReplRate(); rate > 0.05 {
+		t.Errorf("L1R rate = %.3f, want low (streaming in storage order)", rate)
+	}
+	if inv := mr.InvRate(); inv > 0.02 {
+		t.Errorf("L1I rate = %.3f, want negligible", inv)
+	}
+}
+
+func TestVolpackParamValidation(t *testing.T) {
+	w := NewVolpack(VolpackParams{Size: 24, Depth: 8}) // not a power of two
+	m := newTestMachine(t, core.SharedMem)
+	if err := w.Configure(m); err == nil {
+		t.Error("expected size validation error")
+	}
+}
