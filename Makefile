@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build check vet test race bench-trace clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# check is the verification gate: static analysis plus the full test
+# suite under the race detector (the trace ring and global counters are
+# the shared-state hot spots).
+check: vet race
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-trace proves the disabled-instrumentation acceptance bar:
+# BenchmarkTracerDisabled must report 0 allocs/op.
+bench-trace:
+	$(GO) test -run '^$$' -bench 'BenchmarkTracer' -benchmem .
+
+clean:
+	$(GO) clean ./...

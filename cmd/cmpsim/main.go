@@ -14,13 +14,49 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
+	"cmpsim/internal/obsv"
 	"cmpsim/internal/stats"
 	"cmpsim/internal/workload"
 )
+
+// writeTraces flushes the ring to the requested sink files. When several
+// architectures run in one invocation, each gets its own file with the
+// architecture name spliced in before the extension.
+func writeTraces(ring *obsv.Ring, chromePath, jsonlPath, arch string, multi bool) error {
+	events := ring.Events()
+	write := func(path string, fn func(io.Writer, []obsv.Event) error) error {
+		if path == "" {
+			return nil
+		}
+		if multi {
+			ext := filepath.Ext(path)
+			path = path[:len(path)-len(ext)] + "." + arch + ext
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", len(events), path)
+		return nil
+	}
+	if err := write(chromePath, obsv.WriteChromeTrace); err != nil {
+		return err
+	}
+	return write(jsonlPath, obsv.WriteJSONL)
+}
 
 func main() {
 	var (
@@ -32,6 +68,11 @@ func main() {
 		regions = flag.Bool("regions", false, "profile data accesses by 256KB physical region")
 		list    = flag.Bool("list", false, "list available workloads")
 		verbose = flag.Bool("v", false, "also print raw cycle counts and IPC")
+
+		traceChrome = flag.String("trace", "", "write a Chrome trace (chrome://tracing, Perfetto) to this file")
+		traceJSONL  = flag.String("trace-out", "", "write the raw event trace as JSON Lines (cmd/tracestats input) to this file")
+		traceBuf    = flag.Int("trace-buf", 1<<20, "trace ring-buffer capacity in events (oldest dropped)")
+		metricsIvl  = flag.Uint64("metrics-interval", 0, "sample interval metrics every N cycles (0 = off)")
 	)
 	flag.Parse()
 
@@ -70,10 +111,20 @@ func main() {
 			os.Exit(2)
 		}
 		acfg := cfg
+		var tracers []obsv.Tracer
 		var prof *regionProfile
 		if *regions {
 			prof = newRegionProfile()
-			acfg.Tracer = prof.observe
+			tracers = append(tracers, prof)
+		}
+		var ring *obsv.Ring
+		if *traceChrome != "" || *traceJSONL != "" {
+			ring = obsv.NewRing(*traceBuf)
+			tracers = append(tracers, ring)
+		}
+		acfg.Trace = obsv.Tee(tracers...)
+		if *metricsIvl > 0 {
+			acfg.Metrics = obsv.NewMetrics(*metricsIvl)
 		}
 		res, err := workload.Run(w, a, core.CPUModel(*model), &acfg)
 		if err != nil {
@@ -87,6 +138,19 @@ func main() {
 		if prof != nil {
 			fmt.Printf("--- %s: data accesses by 256KB region (top 12 by total latency) ---\n", a)
 			prof.print(os.Stdout, 12)
+		}
+		if ring != nil {
+			if err := writeTraces(ring, *traceChrome, *traceJSONL, string(a), len(arches) > 1); err != nil {
+				fmt.Fprintln(os.Stderr, "cmpsim:", err)
+				os.Exit(1)
+			}
+			if ring.Dropped() > 0 {
+				fmt.Fprintf(os.Stderr, "cmpsim: %s: trace ring dropped %d of %d events (raise -trace-buf)\n",
+					a, ring.Dropped(), ring.Emitted())
+			}
+		}
+		if res.Metrics != nil {
+			fmt.Printf("--- %s: interval metrics ---\n%s", a, res.Metrics.String())
 		}
 	}
 

@@ -6,12 +6,14 @@ import (
 	"sort"
 
 	"cmpsim/internal/memsys"
+	"cmpsim/internal/obsv"
 )
 
 // regionProfile aggregates the memory system's access trace by 256KB
 // physical region: how many references each region received, at which
 // hierarchy level they were serviced, and how much load-to-use latency
-// they cost. It is wired in through memsys.Config.Tracer.
+// they cost. It implements obsv.Tracer and is wired in through
+// memsys.Config.Trace, consuming only the load/store events.
 type regionProfile struct {
 	regions map[uint32]*regionStats
 }
@@ -29,18 +31,21 @@ func newRegionProfile() *regionProfile {
 	return &regionProfile{regions: make(map[uint32]*regionStats)}
 }
 
-// observe matches memsys.Config.Tracer.
-func (p *regionProfile) observe(cpu int, addr uint32, write bool, lvl memsys.Level, lat uint64) {
-	key := addr >> regionShift
+// Emit implements obsv.Tracer.
+func (p *regionProfile) Emit(ev obsv.Event) {
+	if ev.Kind != obsv.EvLoad && ev.Kind != obsv.EvStore {
+		return
+	}
+	key := ev.Addr >> regionShift
 	rs := p.regions[key]
 	if rs == nil {
 		rs = &regionStats{}
 		p.regions[key] = rs
 	}
-	rs.count[lvl]++
+	rs.count[ev.Level]++
 	rs.accesses++
-	rs.latency += lat
-	if write {
+	rs.latency += uint64(ev.Arg)
+	if ev.Kind == obsv.EvStore {
 		rs.writes++
 	}
 }

@@ -14,19 +14,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"cmpsim/internal/core"
 	"cmpsim/internal/cpu"
 	"cmpsim/internal/isa"
 	"cmpsim/internal/memsys"
+	"cmpsim/internal/obsv"
 	"cmpsim/internal/stats"
 	"cmpsim/internal/workload"
 )
 
+// obsvOpts carries the observability flags; when tracing or sampling is
+// on, every (figure, architecture) run gets its own output file.
+type obsvOpts struct {
+	chrome   string
+	jsonl    string
+	bufSize  int
+	interval uint64
+}
+
+var obsvFlags obsvOpts
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced data sets")
 	skipMXS := flag.Bool("skip-mxs", false, "skip the detailed-CPU (Figure 11) runs")
+	flag.StringVar(&obsvFlags.chrome, "trace", "", "write per-run Chrome traces; the figure and architecture are spliced into this filename")
+	flag.StringVar(&obsvFlags.jsonl, "trace-out", "", "write per-run JSONL traces (cmd/tracestats input)")
+	flag.IntVar(&obsvFlags.bufSize, "trace-buf", 1<<20, "trace ring-buffer capacity in events")
+	flag.Uint64Var(&obsvFlags.interval, "metrics-interval", 0, "sample interval metrics every N cycles (0 = off)")
 	flag.Parse()
 
 	start := time.Now()
@@ -204,6 +222,71 @@ func table2() {
 	fmt.Println()
 }
 
+// runTag turns a figure name into a filename-safe fragment
+// ("Figure 4: Eqntott" -> "figure-4-eqntott").
+func runTag(name string) string {
+	f := func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}
+	tag := strings.Map(f, name)
+	for strings.Contains(tag, "--") {
+		tag = strings.ReplaceAll(tag, "--", "-")
+	}
+	return strings.Trim(tag, "-")
+}
+
+// splice inserts tag before path's extension.
+func splice(path, tag string) string {
+	ext := filepath.Ext(path)
+	return path[:len(path)-len(ext)] + "." + tag + ext
+}
+
+// dumpTrace writes the ring's events to the per-run trace files.
+func dumpTrace(ring *obsv.Ring, tag string) {
+	events := ring.Events()
+	if obsvFlags.chrome != "" {
+		path := splice(obsvFlags.chrome, tag)
+		f, err := os.Create(path)
+		if err == nil {
+			err = obsv.WriteChromeTrace(f, events)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [trace] %d events -> %s\n", len(events), path)
+	}
+	if obsvFlags.jsonl != "" {
+		path := splice(obsvFlags.jsonl, tag)
+		f, err := os.Create(path)
+		if err == nil {
+			err = obsv.WriteJSONL(f, events)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [trace] %d events -> %s\n", len(events), path)
+	}
+	if ring.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: trace ring dropped %d of %d events (raise -trace-buf)\n",
+			ring.Dropped(), ring.Emitted())
+	}
+}
+
 func runFigure(name string, mk func() workload.Workload, model core.CPUModel, cfg *memsys.Config) []stats.IPCRow {
 	runs := map[core.Arch]*core.RunResult{}
 	var ipcRows []stats.IPCRow
@@ -211,10 +294,35 @@ func runFigure(name string, mk func() workload.Workload, model core.CPUModel, cf
 	for _, a := range core.Arches() {
 		w := mk()
 		wlName = w.Name()
-		res, err := workload.Run(w, a, model, cfg)
+		acfg := memsys.DefaultConfig()
+		if cfg != nil {
+			acfg = *cfg
+		}
+		var ring *obsv.Ring
+		if obsvFlags.chrome != "" || obsvFlags.jsonl != "" {
+			ring = obsv.NewRing(obsvFlags.bufSize)
+			acfg.Trace = ring
+		}
+		if obsvFlags.interval > 0 {
+			acfg.Metrics = obsv.NewMetrics(obsvFlags.interval)
+		}
+		res, err := workload.Run(w, a, model, &acfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s on %s: %v\n", name, a, err)
 			os.Exit(1)
+		}
+		if ring != nil {
+			dumpTrace(ring, runTag(name)+"-"+string(a))
+		}
+		if res.Metrics != nil {
+			samples := res.Metrics.Samples()
+			var peak float64
+			for _, smp := range samples {
+				if smp.IPC > peak {
+					peak = smp.IPC
+				}
+			}
+			fmt.Printf("  [metrics] %s: %d samples, peak interval IPC %.3f\n", a, len(samples), peak)
 		}
 		runs[a] = res
 		ipcRows = append(ipcRows, stats.IPCBreakdown(res))

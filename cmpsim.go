@@ -23,8 +23,11 @@
 package cmpsim
 
 import (
+	"io"
+
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
+	"cmpsim/internal/obsv"
 	"cmpsim/internal/stats"
 	"cmpsim/internal/workload"
 )
@@ -132,3 +135,45 @@ type IPCRow = stats.IPCRow
 
 // IPCBreakdownOf computes a Figure 11 row from an MXS run.
 func IPCBreakdownOf(r *Result) IPCRow { return stats.IPCBreakdown(r) }
+
+// --- observability (package obsv) ---
+
+// Tracer receives cycle-accurate simulator events. Install one in
+// Config.Trace before building a machine; the disabled (nil) fast path
+// costs a single pointer check per event site.
+type Tracer = obsv.Tracer
+
+// TraceEvent is one trace record (flat value type, allocation-free).
+type TraceEvent = obsv.Event
+
+// TraceRing is the standard Tracer: a bounded in-memory ring buffer
+// keeping the most recent events.
+type TraceRing = obsv.Ring
+
+// NewTraceRing returns a ring tracer holding the last capacity events.
+func NewTraceRing(capacity int) *TraceRing { return obsv.NewRing(capacity) }
+
+// WriteChromeTrace writes events in the Chrome trace-event format,
+// loadable in chrome://tracing and Perfetto (one track per CPU, one per
+// shared resource).
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obsv.WriteChromeTrace(w, events)
+}
+
+// WriteTraceJSONL writes events as JSON Lines, the input format of
+// cmd/tracestats.
+func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
+	return obsv.WriteJSONL(w, events)
+}
+
+// Metrics is the interval sampler: set Config.Metrics to a NewMetrics
+// collector and the run produces a time-series of per-CPU IPC, miss
+// rates, resource utilization and MSHR occupancy, plus latency
+// histograms (Result.Metrics).
+type Metrics = obsv.Metrics
+
+// Sample is one interval of the metrics time-series.
+type Sample = obsv.Sample
+
+// NewMetrics returns a collector sampling every interval cycles.
+func NewMetrics(interval uint64) *Metrics { return obsv.NewMetrics(interval) }

@@ -1,5 +1,11 @@
 package cache
 
+import (
+	"sort"
+
+	"cmpsim/internal/obsv"
+)
+
 // MSHRFile models the miss-status holding registers of a non-blocking
 // cache (Kroft-style). Each entry tracks one outstanding line miss, the
 // cycle at which its fill completes, and an opaque caller tag (the
@@ -9,6 +15,9 @@ package cache
 type MSHRFile struct {
 	max     int
 	entries map[uint32]mshrEntry
+
+	trace obsv.Tracer
+	cpu   int8
 }
 
 type mshrEntry struct {
@@ -22,13 +31,45 @@ func NewMSHRFile(max int) *MSHRFile {
 	return &MSHRFile{max: max, entries: make(map[uint32]mshrEntry, max)}
 }
 
-// reap drops entries whose fills have completed by now.
+// SetTracer attaches a tracer; allocations, retirements and structural
+// refusals then emit events attributed to cpu (-1 for a shared file).
+func (m *MSHRFile) SetTracer(tr obsv.Tracer, cpu int) {
+	m.trace, m.cpu = tr, int8(cpu)
+}
+
+// reap drops entries whose fills have completed by now. Entries are
+// reaped lazily, so retire events can be emitted well after their
+// timestamped completion cycle; tracers must tolerate that (sinks sort).
 func (m *MSHRFile) reap(now uint64) {
+	if m.trace == nil {
+		for la, e := range m.entries {
+			if e.done <= now {
+				delete(m.entries, la)
+			}
+		}
+		return
+	}
+	var retired []retiredEntry // deterministic emission order despite map iteration
 	for la, e := range m.entries {
 		if e.done <= now {
 			delete(m.entries, la)
+			retired = append(retired, retiredEntry{addr: la, done: e.done})
 		}
 	}
+	sort.Slice(retired, func(i, j int) bool {
+		if retired[i].done != retired[j].done {
+			return retired[i].done < retired[j].done
+		}
+		return retired[i].addr < retired[j].addr
+	})
+	for _, r := range retired {
+		m.trace.Emit(obsv.Event{Cycle: r.done, Addr: r.addr, Kind: obsv.EvMSHRRetire, CPU: m.cpu})
+	}
+}
+
+type retiredEntry struct {
+	addr uint32
+	done uint64
 }
 
 // Outstanding returns the number of in-flight misses at cycle now.
@@ -39,7 +80,11 @@ func (m *MSHRFile) Outstanding(now uint64) int {
 
 // Full reports whether a new (non-merging) miss would be refused at now.
 func (m *MSHRFile) Full(now uint64) bool {
-	return m.Outstanding(now) >= m.max
+	full := m.Outstanding(now) >= m.max
+	if full && m.trace != nil {
+		m.trace.Emit(obsv.Event{Cycle: now, Kind: obsv.EvMSHRFull, CPU: m.cpu})
+	}
+	return full
 }
 
 // Lookup reports whether lineAddr has an in-flight miss, and if so when
@@ -66,5 +111,11 @@ func (m *MSHRFile) Allocate(now uint64, lineAddr uint32, done uint64, tag uint8)
 		return false
 	}
 	m.entries[lineAddr] = mshrEntry{done: done, tag: tag}
+	if m.trace != nil {
+		m.trace.Emit(obsv.Event{
+			Cycle: now, Addr: lineAddr, Arg: uint32(done - now),
+			Kind: obsv.EvMSHRAlloc, CPU: m.cpu,
+		})
+	}
 	return true
 }

@@ -9,7 +9,10 @@
 // dirty supplier, invalidations sent, ...) into cycles.
 package coherence
 
-import "cmpsim/internal/cache"
+import (
+	"cmpsim/internal/cache"
+	"cmpsim/internal/obsv"
+)
 
 // Node is one CPU's private cache hierarchy in the snoopy system.
 type Node struct {
@@ -31,6 +34,7 @@ type SnoopStats struct {
 type Snoop struct {
 	nodes []Node
 	stats SnoopStats
+	trace obsv.Tracer
 }
 
 // NewSnoop builds a snooping domain over the given nodes.
@@ -41,6 +45,10 @@ func NewSnoop(nodes []Node) *Snoop {
 // Stats returns a copy of the protocol counters.
 func (s *Snoop) Stats() SnoopStats { return s.stats }
 
+// SetTracer attaches a tracer; protocol transactions then emit
+// invalidation, upgrade and cache-to-cache events.
+func (s *Snoop) SetTracer(tr obsv.Tracer) { s.trace = tr }
+
 // SnoopResult reports what a bus transaction found in remote caches.
 type SnoopResult struct {
 	RemoteDirty bool // a remote cache held the line Modified (it supplies the data)
@@ -48,10 +56,11 @@ type SnoopResult struct {
 	Invalidated int  // remote lines invalidated by this transaction
 }
 
-// Read handles a BusRd issued by cpu after missing in its own hierarchy.
-// Remote Modified/Exclusive copies are downgraded to Shared. The caller
-// fills the requester in Shared if RemoteCopy, else Exclusive.
-func (s *Snoop) Read(cpu int, addr uint32) SnoopResult {
+// Read handles a BusRd issued by cpu at cycle now after missing in its
+// own hierarchy. Remote Modified/Exclusive copies are downgraded to
+// Shared. The caller fills the requester in Shared if RemoteCopy, else
+// Exclusive.
+func (s *Snoop) Read(now uint64, cpu int, addr uint32) SnoopResult {
 	s.stats.ReadMissesSnooped++
 	var r SnoopResult
 	for i := range s.nodes {
@@ -74,17 +83,23 @@ func (s *Snoop) Read(cpu int, addr uint32) SnoopResult {
 	}
 	if r.RemoteDirty || r.RemoteCopy {
 		s.stats.CacheToCache++
+		if s.trace != nil {
+			s.trace.Emit(obsv.Event{Cycle: now, Addr: addr, Kind: obsv.EvC2C, CPU: int8(cpu)})
+		}
 	}
 	return r
 }
 
 // Write handles a BusRdX issued by cpu (write miss) — remote copies are
 // invalidated; a remote Modified copy supplies the data cache-to-cache.
-func (s *Snoop) Write(cpu int, addr uint32) SnoopResult {
+func (s *Snoop) Write(now uint64, cpu int, addr uint32) SnoopResult {
 	s.stats.WriteMissesSnooped++
-	r := s.invalidateRemote(cpu, addr)
+	r := s.invalidateRemote(now, cpu, addr)
 	if r.RemoteDirty {
 		s.stats.CacheToCache++
+		if s.trace != nil {
+			s.trace.Emit(obsv.Event{Cycle: now, Addr: addr, Kind: obsv.EvC2C, CPU: int8(cpu)})
+		}
 	}
 	return r
 }
@@ -92,12 +107,16 @@ func (s *Snoop) Write(cpu int, addr uint32) SnoopResult {
 // Upgrade handles a BusUpgr issued by cpu, which holds the line Shared
 // and wants to write it. Remote Shared copies are invalidated; no data
 // transfer is needed.
-func (s *Snoop) Upgrade(cpu int, addr uint32) SnoopResult {
+func (s *Snoop) Upgrade(now uint64, cpu int, addr uint32) SnoopResult {
 	s.stats.Upgrades++
-	return s.invalidateRemote(cpu, addr)
+	r := s.invalidateRemote(now, cpu, addr)
+	if s.trace != nil {
+		s.trace.Emit(obsv.Event{Cycle: now, Addr: addr, Arg: uint32(r.Invalidated), Kind: obsv.EvUpgrade, CPU: int8(cpu)})
+	}
+	return r
 }
 
-func (s *Snoop) invalidateRemote(cpu int, addr uint32) SnoopResult {
+func (s *Snoop) invalidateRemote(now uint64, cpu int, addr uint32) SnoopResult {
 	var r SnoopResult
 	for i := range s.nodes {
 		if i == cpu {
@@ -120,6 +139,9 @@ func (s *Snoop) invalidateRemote(cpu int, addr uint32) SnoopResult {
 		}
 	}
 	s.stats.InvalidationsSent += uint64(r.Invalidated)
+	if r.Invalidated > 0 && s.trace != nil {
+		s.trace.Emit(obsv.Event{Cycle: now, Addr: addr, Arg: uint32(r.Invalidated), Kind: obsv.EvInval, CPU: int8(cpu)})
+	}
 	return r
 }
 
@@ -140,6 +162,7 @@ type Directory struct {
 	l1s     []*cache.Cache
 	sharers map[uint32]uint16 // line address -> CPU bitmask
 	stats   DirStats
+	trace   obsv.Tracer
 }
 
 // NewDirectory builds a directory over the write-through L1 caches.
@@ -149,6 +172,10 @@ func NewDirectory(l1s []*cache.Cache) *Directory {
 
 // Stats returns a copy of the directory counters.
 func (d *Directory) Stats() DirStats { return d.stats }
+
+// SetTracer attaches a tracer; invalidations and inclusion evictions
+// then emit events.
+func (d *Directory) SetTracer(tr obsv.Tracer) { d.trace = tr }
 
 // Sharers returns the current sharer bitmask of a line.
 func (d *Directory) Sharers(lineAddr uint32) uint16 { return d.sharers[lineAddr] }
@@ -175,7 +202,7 @@ func (d *Directory) DropSharer(lineAddr uint32, cpu int) {
 // L1 copy is invalidated (counted as a coherence invalidation, so later
 // misses on the line classify as invalidation misses). Returns the
 // number of L1 invalidations performed.
-func (d *Directory) Write(lineAddr uint32, cpu int) int {
+func (d *Directory) Write(now uint64, lineAddr uint32, cpu int) int {
 	m := d.sharers[lineAddr]
 	inv := 0
 	for i := range d.l1s {
@@ -193,13 +220,16 @@ func (d *Directory) Write(lineAddr uint32, cpu int) int {
 		delete(d.sharers, lineAddr)
 	}
 	d.stats.Invalidations += uint64(inv)
+	if inv > 0 && d.trace != nil {
+		d.trace.Emit(obsv.Event{Cycle: now, Addr: lineAddr, Arg: uint32(inv), Kind: obsv.EvInval, CPU: int8(cpu)})
+	}
 	return inv
 }
 
 // L2Evict handles the shared L2 replacing lineAddr: inclusion forces all
 // L1 copies out. These removals are *not* classified as coherence
 // invalidations (they are a capacity/conflict effect of the L2).
-func (d *Directory) L2Evict(lineAddr uint32) int {
+func (d *Directory) L2Evict(now uint64, lineAddr uint32) int {
 	m, ok := d.sharers[lineAddr]
 	if !ok {
 		return 0
@@ -215,5 +245,8 @@ func (d *Directory) L2Evict(lineAddr uint32) int {
 	}
 	delete(d.sharers, lineAddr)
 	d.stats.InclusionEvicts += uint64(n)
+	if n > 0 && d.trace != nil {
+		d.trace.Emit(obsv.Event{Cycle: now, Addr: lineAddr, Arg: uint32(n), Kind: obsv.EvInclEvict, CPU: -1})
+	}
 	return n
 }

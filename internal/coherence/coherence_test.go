@@ -25,7 +25,7 @@ func TestSnoopReadDowngradesRemoteDirty(t *testing.T) {
 	s, nodes := newSnoop(2)
 	nodes[1].L2.Fill(0x100, cache.Modified)
 	nodes[1].L1.Fill(0x100, cache.Modified)
-	r := s.Read(0, 0x100)
+	r := s.Read(0, 0, 0x100)
 	if !r.RemoteDirty || !r.RemoteCopy {
 		t.Fatalf("result = %+v", r)
 	}
@@ -43,7 +43,7 @@ func TestSnoopReadDowngradesRemoteDirty(t *testing.T) {
 func TestSnoopReadCleanRemote(t *testing.T) {
 	s, nodes := newSnoop(3)
 	nodes[2].L2.Fill(0x100, cache.Exclusive)
-	r := s.Read(0, 0x100)
+	r := s.Read(0, 0, 0x100)
 	if r.RemoteDirty || !r.RemoteCopy {
 		t.Fatalf("result = %+v", r)
 	}
@@ -54,7 +54,7 @@ func TestSnoopReadCleanRemote(t *testing.T) {
 
 func TestSnoopReadNoRemote(t *testing.T) {
 	s, _ := newSnoop(4)
-	r := s.Read(1, 0x200)
+	r := s.Read(0, 1, 0x200)
 	if r.RemoteCopy || r.RemoteDirty || r.Invalidated != 0 {
 		t.Fatalf("result = %+v", r)
 	}
@@ -65,7 +65,7 @@ func TestSnoopWriteInvalidatesAll(t *testing.T) {
 	nodes[1].L2.Fill(0x100, cache.Shared)
 	nodes[1].L1.Fill(0x100, cache.Shared)
 	nodes[2].L2.Fill(0x100, cache.Modified)
-	r := s.Write(0, 0x100)
+	r := s.Write(0, 0, 0x100)
 	if !r.RemoteDirty || r.Invalidated != 3 {
 		t.Fatalf("result = %+v", r)
 	}
@@ -84,7 +84,7 @@ func TestSnoopUpgrade(t *testing.T) {
 	s, nodes := newSnoop(2)
 	nodes[0].L1.Fill(0x100, cache.Shared)
 	nodes[1].L1.Fill(0x100, cache.Shared)
-	r := s.Upgrade(0, 0x100)
+	r := s.Upgrade(0, 0, 0x100)
 	if r.Invalidated != 1 || r.RemoteDirty {
 		t.Fatalf("result = %+v", r)
 	}
@@ -113,7 +113,7 @@ func TestDirectoryWriteInvalidatesOtherSharers(t *testing.T) {
 		l1s[i].Fill(0x100, cache.Shared)
 		d.AddSharer(0x100, i)
 	}
-	inv := d.Write(0x100, 0)
+	inv := d.Write(0, 0x100, 0)
 	if inv != 2 {
 		t.Fatalf("invalidated %d, want 2", inv)
 	}
@@ -137,7 +137,7 @@ func TestDirectoryWriteByNonSharer(t *testing.T) {
 	d, l1s := newDir(2)
 	l1s[1].Fill(0x100, cache.Shared)
 	d.AddSharer(0x100, 1)
-	inv := d.Write(0x100, 0) // CPU 0 writes without holding the line
+	inv := d.Write(0, 0x100, 0) // CPU 0 writes without holding the line
 	if inv != 1 {
 		t.Fatalf("invalidated %d, want 1", inv)
 	}
@@ -150,7 +150,7 @@ func TestDirectoryL2EvictIsNotInvalidationMiss(t *testing.T) {
 	d, l1s := newDir(2)
 	l1s[0].Fill(0x100, cache.Shared)
 	d.AddSharer(0x100, 0)
-	n := d.L2Evict(0x100)
+	n := d.L2Evict(0, 0x100)
 	if n != 1 {
 		t.Fatalf("evicted %d, want 1", n)
 	}

@@ -17,6 +17,7 @@ import (
 	"cmpsim/internal/isa"
 	"cmpsim/internal/mem"
 	"cmpsim/internal/memsys"
+	"cmpsim/internal/obsv"
 )
 
 // Arch identifies one of the three architecture compositions.
@@ -250,6 +251,7 @@ type RunResult struct {
 	Cycles    uint64
 	PerCPU    []cpu.StallStats
 	MemReport memsys.Report
+	Metrics   *obsv.Metrics // interval time-series, when sampling was enabled
 }
 
 // Instructions returns total instructions executed across all CPUs.
@@ -278,6 +280,7 @@ func (m *Machine) RunWindow(start, n uint64) (next uint64, halted bool, err erro
 		return start, false, fmt.Errorf("core: machine has no CPUs")
 	}
 	cpus := len(m.CPUs)
+	mets := m.Cfg.Metrics
 	cyc := start
 	for ; cyc < start+n; cyc++ {
 		m.Events.RunUntil(cyc)
@@ -290,6 +293,9 @@ func (m *Machine) RunWindow(start, n uint64) (next uint64, halted bool, err erro
 			}
 			alive = true
 			c.Tick(cyc)
+		}
+		if mets != nil && mets.Due(cyc) {
+			mets.Record(m.probe(cyc))
 		}
 		if !alive {
 			break
@@ -324,6 +330,9 @@ func (m *Machine) Run(maxCycles uint64) (*RunResult, error) {
 }
 
 // Result assembles the run statistics at the given completion cycle.
+// When sampling is enabled, the sampler's final partial interval is
+// flushed at the run's last cycle so short runs still report samples and
+// the interval totals reconcile with the aggregate report.
 func (m *Machine) Result(cycles uint64) *RunResult {
 	res := &RunResult{
 		Arch:      m.Arch,
@@ -334,5 +343,43 @@ func (m *Machine) Result(cycles uint64) *RunResult {
 	for _, c := range m.CPUs {
 		res.PerCPU = append(res.PerCPU, c.Stats())
 	}
+	if mets := m.Cfg.Metrics; mets != nil {
+		mets.Flush(m.probe(cycles))
+		res.Metrics = mets
+	}
 	return res
+}
+
+// mshrProber is implemented by memory systems that can report their
+// instantaneous outstanding-miss count (all three compositions do).
+type mshrProber interface {
+	MSHROutstanding(now uint64) int
+}
+
+// probe snapshots the machine's cumulative counters for the interval
+// sampler.
+func (m *Machine) probe(cycle uint64) obsv.Probe {
+	rep := m.Sys.Report()
+	p := obsv.Probe{
+		Cycle:   cycle,
+		L1DAcc:  rep.L1D.Accesses(),
+		L1DMiss: rep.L1D.Misses(),
+		L2Acc:   rep.L2.Accesses(),
+		L2Miss:  rep.L2.Misses(),
+	}
+	for _, c := range m.CPUs {
+		p.PerCPUInsts = append(p.PerCPUInsts, c.Stats().Instructions)
+	}
+	for _, r := range rep.Resources {
+		p.Resources = append(p.Resources, obsv.ResProbe{
+			Name:     r.Name,
+			Acquires: r.Acquires,
+			Wait:     r.WaitCycles,
+			Busy:     r.BusyCycles,
+		})
+	}
+	if mp, ok := m.Sys.(mshrProber); ok {
+		p.MSHRInFlight = mp.MSHROutstanding(cycle)
+	}
+	return p
 }

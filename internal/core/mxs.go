@@ -8,6 +8,10 @@ import (
 
 func init() {
 	newMXSCore = func(id int, ctx *cpu.Context, m *Machine, cfg memsys.Config) Core {
-		return mxs.New(id, ctx, m.Sys, m.Code, m.Trap, m.Img, cfg.LineBytes)
+		c := mxs.New(id, ctx, m.Sys, m.Code, m.Trap, m.Img, cfg.LineBytes)
+		if cfg.Trace != nil {
+			c.SetTracer(cfg.Trace)
+		}
+		return c
 	}
 }

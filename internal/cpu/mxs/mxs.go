@@ -17,6 +17,7 @@ import (
 	"cmpsim/internal/isa"
 	"cmpsim/internal/mem"
 	"cmpsim/internal/memsys"
+	"cmpsim/internal/obsv"
 )
 
 const (
@@ -114,6 +115,7 @@ type CPU struct {
 	irq     cpu.InterruptSource
 	irqStop bool // draining the pipeline to take an interrupt
 
+	tr    obsv.Tracer // optional event tracer; nil means disabled
 	stats cpu.StallStats
 }
 
@@ -121,6 +123,10 @@ type CPU struct {
 // precise: fetch stops, the pipeline drains, then the trap fires with
 // the architectural PC as the resume point.
 func (c *CPU) SetInterruptSource(src cpu.InterruptSource) { c.irq = src }
+
+// SetTracer attaches an event tracer; pipeline flushes, branch
+// mispredictions and window-full dispatch stalls then emit events.
+func (c *CPU) SetTracer(tr obsv.Tracer) { c.tr = tr }
 
 // New builds an MXS core with hardware id executing ctx.
 func New(id int, ctx *cpu.Context, sys memsys.System, code cpu.CodeSource, trap cpu.TrapHandler, img *mem.Image, lineBytes uint32) *CPU {
@@ -168,7 +174,7 @@ func (c *CPU) Tick(now uint64) {
 		c.fq = c.fq[:0]
 		c.irq.AckInterrupt(c.id)
 		extra := c.trap.Syscall(now, c.id, c.ctx, cpu.IRQ)
-		c.flushAll()
+		c.flushAll(now)
 		c.irqStop = false
 		c.fetchPC = c.ctx.PC
 		c.fetchReady = now + 1 + extra
@@ -177,7 +183,7 @@ func (c *CPU) Tick(now uint64) {
 	graduated := c.graduate(now)
 	c.complete(now)
 	c.issue(now)
-	c.dispatch()
+	c.dispatch(now)
 	if !c.irqStop {
 		c.fetch(now)
 	}
@@ -338,7 +344,7 @@ func (c *CPU) serialize(now uint64, e *robEntry) bool {
 		c.ctx.PC = e.pc + 4
 		extra := c.trap.Syscall(now, c.id, c.ctx, e.inst.Imm)
 		c.stats.Instructions++
-		c.flushAll()
+		c.flushAll(now)
 		c.fetchPC = c.ctx.PC
 		c.fetchReady = now + 1 + extra
 		if c.ctx.Halted {
@@ -396,7 +402,13 @@ func (c *CPU) serialize(now uint64, e *robEntry) bool {
 }
 
 // flushAll squashes every in-flight instruction and the fetch queue.
-func (c *CPU) flushAll() {
+func (c *CPU) flushAll(now uint64) {
+	if c.tr != nil {
+		c.tr.Emit(obsv.Event{
+			Cycle: now, Arg: uint32(c.count + len(c.fq)),
+			Kind: obsv.EvFlush, CPU: int8(c.id),
+		})
+	}
 	for i := range c.rob {
 		c.rob[i] = robEntry{}
 	}
@@ -428,7 +440,14 @@ func (c *CPU) complete(now uint64) {
 		if e.inst.Op.IsControl() && e.actualNext != e.predNext {
 			// Misprediction: squash younger entries, redirect fetch.
 			c.stats.Mispredicts++
-			c.stats.Squashed += uint64(c.squashAfter(idx) + len(c.fq))
+			squashed := c.squashAfter(idx) + len(c.fq)
+			c.stats.Squashed += uint64(squashed)
+			if c.tr != nil {
+				c.tr.Emit(obsv.Event{
+					Cycle: now, Addr: e.pc, Arg: uint32(squashed),
+					Kind: obsv.EvMispredict, CPU: int8(c.id),
+				})
+			}
 			c.updateBTB(e)
 			c.fetchPC = e.actualNext
 			c.fetchReady = now + 1
@@ -692,7 +711,10 @@ func (c *CPU) execute(now uint64, idx int, e *robEntry) {
 
 // --- dispatch ---
 
-func (c *CPU) dispatch() {
+func (c *CPU) dispatch(now uint64) {
+	if c.count == windowSize && len(c.fq) > 0 && c.tr != nil {
+		c.tr.Emit(obsv.Event{Cycle: now, Kind: obsv.EvROBFull, CPU: int8(c.id)})
+	}
 	n := 0
 	for n < issueWidth && len(c.fq) > 0 && c.count < windowSize {
 		fe := c.fq[0]

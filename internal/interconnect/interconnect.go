@@ -5,6 +5,8 @@
 // unit for its occupancy and later requests queue behind it.
 package interconnect
 
+import "cmpsim/internal/obsv"
+
 // Resource is a single pipelined unit with busy-until semantics. The
 // zero value (plus a Name) is an idle resource.
 type Resource struct {
@@ -14,6 +16,17 @@ type Resource struct {
 	acquires   uint64
 	waitCycles uint64 // cycles requests spent queued behind earlier ones
 	busyCycles uint64 // cycles the unit was occupied
+
+	trace obsv.Tracer
+	id    obsv.ResID
+	bank  uint32
+}
+
+// Instrument attaches a tracer; every grant then emits an EvGrant event
+// identifying the resource as (id, bank). A nil tracer disables emission
+// (the fast path is the nil check in Acquire).
+func (r *Resource) Instrument(tr obsv.Tracer, id obsv.ResID, bank uint32) {
+	r.trace, r.id, r.bank = tr, id, bank
 }
 
 // Acquire reserves the resource at the earliest slot at or after now for
@@ -28,6 +41,17 @@ func (r *Resource) Acquire(now, occ uint64) uint64 {
 	r.acquires++
 	r.waitCycles += start - now
 	r.busyCycles += occ
+	if r.trace != nil {
+		r.trace.Emit(obsv.Event{
+			Cycle: start,
+			Addr:  r.bank,
+			Arg:   uint32(occ),
+			Arg2:  uint32(start - now),
+			Kind:  obsv.EvGrant,
+			CPU:   -1,
+			Res:   r.id,
+		})
+	}
 	return start
 }
 
@@ -70,6 +94,13 @@ func NewBanks(name string, n int) Banks {
 // Acquire reserves bank i.
 func (b Banks) Acquire(i uint32, now, occ uint64) uint64 {
 	return b[i].Acquire(now, occ)
+}
+
+// Instrument attaches a tracer to every bank, numbering them 0..n.
+func (b Banks) Instrument(tr obsv.Tracer, id obsv.ResID) {
+	for i := range b {
+		b[i].Instrument(tr, id, uint32(i))
+	}
 }
 
 // Stats sums the counters of all banks.

@@ -15,6 +15,7 @@ import (
 	"cmpsim/internal/cache"
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/interconnect"
+	"cmpsim/internal/obsv"
 )
 
 // Level identifies the deepest memory-hierarchy level involved in
@@ -140,16 +141,54 @@ type Config struct {
 	// means everything is treated as shared (the conservative default).
 	SharedData func(addr uint32) bool
 
-	// Tracer, when non-nil, observes every data access with the level
-	// that serviced it and the latency the CPU saw. It is a debugging
-	// and analysis hook; leave nil for normal runs.
-	Tracer func(cpu int, addr uint32, write bool, lvl Level, lat uint64)
+	// Trace, when non-nil, receives a cycle-accurate event stream from
+	// every instrumented component: data accesses and I-fetch misses
+	// here, plus resource grants, MSHR traffic and coherence actions from
+	// the sub-components the constructors wire it into. Leave nil for
+	// normal runs — the disabled fast path is a single pointer check.
+	Trace obsv.Tracer
+
+	// Metrics, when non-nil, accumulates interval samples and latency
+	// histograms. Carried by pointer so that Config copies made by the
+	// compositions all feed one collector.
+	Metrics *obsv.Metrics
 }
 
-// trace invokes the tracer if one is installed.
-func (c *Config) trace(cpu int, addr uint32, write bool, lvl Level, lat uint64) {
-	if c.Tracer != nil {
-		c.Tracer(cpu, addr, write, lvl, lat)
+// traceAccess reports one completed data access to the tracer and the
+// latency histogram.
+func (c *Config) traceAccess(now uint64, cpu int, addr uint32, write bool, lvl Level, lat uint64) {
+	if c.Trace != nil {
+		kind := obsv.EvLoad
+		if write {
+			kind = obsv.EvStore
+		}
+		c.Trace.Emit(obsv.Event{
+			Cycle: now, Addr: addr, Arg: uint32(lat),
+			Kind: kind, CPU: int8(cpu), Level: uint8(lvl),
+		})
+	}
+	if c.Metrics != nil {
+		c.Metrics.ObserveAccess(uint8(lvl), lat)
+	}
+}
+
+// traceIFetch reports an instruction-line fetch that missed the L1
+// I-cache (hits are omitted to keep traces tractable — under the simple
+// CPU model every cycle begins with an I-fetch).
+func (c *Config) traceIFetch(now uint64, cpu int, addr uint32, lvl Level, lat uint64) {
+	if c.Trace != nil && lvl != LvlL1 {
+		c.Trace.Emit(obsv.Event{
+			Cycle: now, Addr: addr, Arg: uint32(lat),
+			Kind: obsv.EvIFetch, CPU: int8(cpu), Level: uint8(lvl),
+		})
+	}
+}
+
+// traceRefusal reports a structural refusal (write buffer full; MSHR-full
+// refusals are emitted by the MSHR file itself).
+func (c *Config) traceRefusal(now uint64, cpu int, kind obsv.EventKind) {
+	if c.Trace != nil {
+		c.Trace.Emit(obsv.Event{Cycle: now, Kind: kind, CPU: int8(cpu)})
 	}
 }
 

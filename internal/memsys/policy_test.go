@@ -3,39 +3,54 @@ package memsys
 import (
 	"testing"
 	"testing/quick"
+
+	"cmpsim/internal/obsv"
 )
 
 func TestTracerObservesAccesses(t *testing.T) {
-	type ev struct {
-		cpu   int
-		addr  uint32
-		write bool
-		lvl   Level
-	}
 	for _, mk := range []func(Config) System{
 		func(c Config) System { return NewSharedL1(c) },
 		func(c Config) System { return NewSharedL2(c) },
 		func(c Config) System { return NewSharedMem(c) },
 	} {
-		var got []ev
+		ring := obsv.NewRing(1024)
 		cfg := DefaultConfig()
-		cfg.Tracer = func(cpu int, addr uint32, write bool, lvl Level, lat uint64) {
-			got = append(got, ev{cpu, addr, write, lvl})
-			if lat == 0 {
-				t.Error("latency must be at least one cycle")
-			}
-		}
+		cfg.Trace = ring
 		s := mk(cfg)
 		s.Access(0, 1, 0x1000, false)
 		s.Access(100, 2, 0x2000, true)
-		if len(got) != 2 {
-			t.Fatalf("%s: tracer saw %d events, want 2", s.Name(), len(got))
+		var got []obsv.Event
+		for _, ev := range ring.Events() {
+			if ev.Kind == obsv.EvLoad || ev.Kind == obsv.EvStore {
+				got = append(got, ev)
+				if ev.Arg == 0 {
+					t.Error("latency must be at least one cycle")
+				}
+			}
 		}
-		if got[0] != (ev{1, 0x1000, false, LvlMem}) {
+		if len(got) != 2 {
+			t.Fatalf("%s: tracer saw %d access events, want 2", s.Name(), len(got))
+		}
+		if got[0].CPU != 1 || got[0].Addr != 0x1000 || got[0].Kind != obsv.EvLoad || Level(got[0].Level) != LvlMem {
 			t.Errorf("%s: first event = %+v", s.Name(), got[0])
 		}
-		if got[1].cpu != 2 || !got[1].write {
+		if got[1].CPU != 2 || got[1].Kind != obsv.EvStore {
 			t.Errorf("%s: second event = %+v", s.Name(), got[1])
+		}
+		// A cold-start load miss must also have produced MSHR and grant
+		// activity from the instrumented sub-components.
+		var sawAlloc, sawGrant bool
+		for _, ev := range ring.Events() {
+			switch ev.Kind {
+			case obsv.EvMSHRAlloc:
+				sawAlloc = true
+			case obsv.EvGrant:
+				sawGrant = true
+			}
+		}
+		if !sawAlloc || !sawGrant {
+			t.Errorf("%s: missing sub-component events (mshr-alloc=%v grant=%v)",
+				s.Name(), sawAlloc, sawGrant)
 		}
 	}
 }

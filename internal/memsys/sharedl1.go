@@ -3,6 +3,7 @@ package memsys
 import (
 	"cmpsim/internal/cache"
 	"cmpsim/internal/interconnect"
+	"cmpsim/internal/obsv"
 )
 
 // SharedL1 is the shared-primary-cache multiprocessor (Section 2.2):
@@ -33,7 +34,7 @@ type SharedL1 struct {
 
 // NewSharedL1 builds the shared-L1 architecture from cfg.
 func NewSharedL1(cfg Config) *SharedL1 {
-	return &SharedL1{
+	s := &SharedL1{
 		cfg:     cfg,
 		res:     newReservations(cfg.NumCPUs, cfg.LineBytes),
 		icaches: newICaches(cfg),
@@ -56,6 +57,13 @@ func NewSharedL1(cfg Config) *SharedL1 {
 		mem:    interconnect.Resource{Name: "memory"},
 		wbufs:  newWriteBufs(cfg.NumCPUs, cfg.WriteBufDepth),
 	}
+	if cfg.Trace != nil {
+		s.dbanks.Instrument(cfg.Trace, obsv.ResL1Bank)
+		s.l2port.Instrument(cfg.Trace, obsv.ResL2Port, 0)
+		s.mem.Instrument(cfg.Trace, obsv.ResMem, 0)
+		s.mshr.SetTracer(cfg.Trace, -1) // the MSHR file is shared, not per-CPU
+	}
+	return s
 }
 
 // Name implements System.
@@ -112,15 +120,20 @@ func (s *SharedL1) writebackToL2(at uint64, lineAddr uint32) {
 func (s *SharedL1) Access(now uint64, cpu int, addr uint32, write bool) (Result, bool) {
 	r, ok := s.access(now, cpu, addr, write)
 	if ok {
-		s.cfg.trace(cpu, addr, write, r.Level, r.Done-now)
+		s.cfg.traceAccess(now, cpu, addr, write, r.Level, r.Done-now)
 	}
 	return r, ok
 }
+
+// MSHROutstanding returns the number of in-flight misses at cycle now
+// (the interval sampler's occupancy probe).
+func (s *SharedL1) MSHROutstanding(now uint64) int { return s.mshr.Outstanding(now) }
 
 func (s *SharedL1) access(now uint64, cpu int, addr uint32, write bool) (Result, bool) {
 	la := s.dcache.LineAddr(addr)
 	if write {
 		if s.wbufs[cpu].full(now) {
+			s.cfg.traceRefusal(now, cpu, obsv.EvWBufFull)
 			return Result{Done: now + 1, Level: LvlL2}, false
 		}
 	}
@@ -187,6 +200,7 @@ func (s *SharedL1) IFetch(now uint64, cpu int, addr uint32) Result {
 	}
 	dataAt, lvl := s.l2Fetch(now+1, la)
 	ic.Fill(addr, cache.Exclusive)
+	s.cfg.traceIFetch(now, cpu, addr, lvl, dataAt-now)
 	return Result{Done: dataAt, Level: lvl}
 }
 

@@ -4,6 +4,7 @@ import (
 	"cmpsim/internal/cache"
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/interconnect"
+	"cmpsim/internal/obsv"
 )
 
 // SharedL2 is the shared-secondary-cache multiprocessor (Section 2.3):
@@ -46,7 +47,7 @@ func NewSharedL2(cfg Config) *SharedL2 {
 		})
 		mshrs[i] = cache.NewMSHRFile(cfg.MSHRs)
 	}
-	return &SharedL2{
+	s := &SharedL2{
 		cfg:     cfg,
 		res:     newReservations(cfg.NumCPUs, cfg.LineBytes),
 		icaches: newICaches(cfg),
@@ -64,6 +65,15 @@ func NewSharedL2(cfg Config) *SharedL2 {
 		mem:     interconnect.Resource{Name: "memory"},
 		wbufs:   newWriteBufs(cfg.NumCPUs, cfg.WriteBufDepth),
 	}
+	if cfg.Trace != nil {
+		s.l2banks.Instrument(cfg.Trace, obsv.ResL2Bank)
+		s.mem.Instrument(cfg.Trace, obsv.ResMem, 0)
+		for i, m := range s.mshrs {
+			m.SetTracer(cfg.Trace, i)
+		}
+		s.dir.SetTracer(cfg.Trace)
+	}
+	return s
 }
 
 // Name implements System.
@@ -112,7 +122,7 @@ func (s *SharedL2) evictL2Victim(v cache.Victim, at uint64) {
 	if !v.Valid {
 		return
 	}
-	s.dir.L2Evict(v.LineAddr)
+	s.dir.L2Evict(at, v.LineAddr)
 	if v.Dirty {
 		s.mem.Acquire(at, s.cfg.MemOcc)
 	}
@@ -122,9 +132,19 @@ func (s *SharedL2) evictL2Victim(v cache.Victim, at uint64) {
 func (s *SharedL2) Access(now uint64, cpu int, addr uint32, write bool) (Result, bool) {
 	r, ok := s.access(now, cpu, addr, write)
 	if ok {
-		s.cfg.trace(cpu, addr, write, r.Level, r.Done-now)
+		s.cfg.traceAccess(now, cpu, addr, write, r.Level, r.Done-now)
 	}
 	return r, ok
+}
+
+// MSHROutstanding returns the in-flight misses summed over the CPUs'
+// MSHR files at cycle now.
+func (s *SharedL2) MSHROutstanding(now uint64) int {
+	n := 0
+	for _, m := range s.mshrs {
+		n += m.Outstanding(now)
+	}
+	return n
 }
 
 func (s *SharedL2) access(now uint64, cpu int, addr uint32, write bool) (Result, bool) {
@@ -192,6 +212,7 @@ func (s *SharedL2) store(now uint64, cpu int, addr uint32) (Result, bool) {
 	if s.wbufs[cpu].full(now) {
 		// Stall until a buffer slot drains; attribute to the L2 (port
 		// contention), as in the paper's Figure 10 discussion.
+		s.cfg.traceRefusal(now, cpu, obsv.EvWBufFull)
 		return Result{Done: now + 1, Level: LvlL2}, false
 	}
 	d := s.dcaches[cpu]
@@ -201,7 +222,7 @@ func (s *SharedL2) store(now uint64, cpu int, addr uint32) (Result, bool) {
 		return s.storePrivate(now, cpu, addr)
 	}
 	hit := d.Access(addr, true).Hit
-	s.dir.Write(la, cpu)
+	s.dir.Write(now, la, cpu)
 
 	start := s.l2banks.Acquire(s.l2.BankOf(addr), now+1, s.cfg.WTWriteOcc)
 	done := start + s.cfg.WTWriteOcc
@@ -262,6 +283,7 @@ func (s *SharedL2) IFetch(now uint64, cpu int, addr uint32) Result {
 	}
 	dataAt, lvl := s.l2Fetch(now+1, la)
 	ic.Fill(addr, cache.Exclusive)
+	s.cfg.traceIFetch(now, cpu, addr, lvl, dataAt-now)
 	return Result{Done: dataAt, Level: lvl}
 }
 

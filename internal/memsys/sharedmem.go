@@ -4,6 +4,7 @@ import (
 	"cmpsim/internal/cache"
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/interconnect"
+	"cmpsim/internal/obsv"
 )
 
 // SharedMem is the conventional bus-based shared-memory multiprocessor
@@ -54,7 +55,7 @@ func NewSharedMem(cfg Config) *SharedMem {
 		mshrs[i] = cache.NewMSHRFile(cfg.MSHRs)
 		nodes[i] = coherence.Node{L1: l1s[i], L2: l2s[i]}
 	}
-	return &SharedMem{
+	s := &SharedMem{
 		cfg:     cfg,
 		res:     newReservations(n, cfg.LineBytes),
 		icaches: newICaches(cfg),
@@ -66,6 +67,16 @@ func NewSharedMem(cfg Config) *SharedMem {
 		bus:     interconnect.Resource{Name: "bus"},
 		wbufs:   newWriteBufs(n, cfg.WriteBufDepth),
 	}
+	if cfg.Trace != nil {
+		s.bus.Instrument(cfg.Trace, obsv.ResBus, 0)
+		for i := range s.l2ports {
+			// Per-CPU ports: the owning CPU doubles as the bank index.
+			s.l2ports[i].Instrument(cfg.Trace, obsv.ResL2Port, uint32(i))
+			s.mshrs[i].SetTracer(cfg.Trace, i)
+		}
+		s.snoop.SetTracer(cfg.Trace)
+	}
+	return s
 }
 
 // Name implements System.
@@ -95,9 +106,9 @@ func l1FillState(l2State cache.State) cache.State {
 func (s *SharedMem) busFetch(cpu int, reqTime uint64, lineAddr uint32, write bool) (uint64, Level, cache.State) {
 	var sn coherence.SnoopResult
 	if write {
-		sn = s.snoop.Write(cpu, lineAddr)
+		sn = s.snoop.Write(reqTime, cpu, lineAddr)
 	} else {
-		sn = s.snoop.Read(cpu, lineAddr)
+		sn = s.snoop.Read(reqTime, cpu, lineAddr)
 	}
 	if sn.RemoteCopy {
 		// Cache-to-cache transfer: every other processor checks its tags
@@ -150,9 +161,19 @@ func (s *SharedMem) writebackL1Victim(cpu int, v cache.Victim, at uint64) {
 func (s *SharedMem) Access(now uint64, cpu int, addr uint32, write bool) (Result, bool) {
 	r, ok := s.access(now, cpu, addr, write)
 	if ok {
-		s.cfg.trace(cpu, addr, write, r.Level, r.Done-now)
+		s.cfg.traceAccess(now, cpu, addr, write, r.Level, r.Done-now)
 	}
 	return r, ok
+}
+
+// MSHROutstanding returns the in-flight misses summed over the CPUs'
+// MSHR files at cycle now.
+func (s *SharedMem) MSHROutstanding(now uint64) int {
+	n := 0
+	for _, m := range s.mshrs {
+		n += m.Outstanding(now)
+	}
+	return n
 }
 
 func (s *SharedMem) access(now uint64, cpu int, addr uint32, write bool) (Result, bool) {
@@ -160,6 +181,7 @@ func (s *SharedMem) access(now uint64, cpu int, addr uint32, write bool) (Result
 	la := l1.LineAddr(addr)
 	if write {
 		if s.wbufs[cpu].full(now) {
+			s.cfg.traceRefusal(now, cpu, obsv.EvWBufFull)
 			return Result{Done: now + 1, Level: LvlL2}, false
 		}
 		s.res.clearOthers(cpu, addr)
@@ -192,7 +214,7 @@ func (s *SharedMem) access(now uint64, cpu int, addr uint32, write bool) (Result
 			ln.State = cache.Modified
 			return finish(now+1, LvlL1)
 		default: // Shared: bus upgrade to invalidate the other copies
-			s.snoop.Upgrade(cpu, la)
+			s.snoop.Upgrade(now, cpu, la)
 			start := s.bus.Acquire(now+1, 2)
 			ln.State = cache.Modified
 			if l2ln := s.l2s[cpu].Probe(la); l2ln != nil {
@@ -219,7 +241,7 @@ func (s *SharedMem) access(now uint64, cpu int, addr uint32, write bool) (Result
 		if write {
 			if ln.State == cache.Shared {
 				// Write to a shared line: upgrade on the bus first.
-				s.snoop.Upgrade(cpu, la)
+				s.snoop.Upgrade(dataAt, cpu, la)
 				bstart := s.bus.Acquire(dataAt, 2)
 				dataAt = bstart + s.cfg.UpgLat
 				lvl = LvlC2C
@@ -273,6 +295,7 @@ func (s *SharedMem) IFetch(now uint64, cpu int, addr uint32) Result {
 		s.evictL2Victim(cpu, victim, start+s.cfg.L2Lat)
 	}
 	ic.Fill(addr, cache.Exclusive)
+	s.cfg.traceIFetch(now, cpu, addr, lvl, dataAt-now)
 	return Result{Done: dataAt, Level: lvl}
 }
 

@@ -1,0 +1,155 @@
+package obsv
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestKindAndResNamesRoundTrip(t *testing.T) {
+	for k := EventKind(0); k < NumEventKinds; k++ {
+		if k.String() == "?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if got := KindFromString(k.String()); got != k {
+			t.Errorf("KindFromString(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	for r := ResID(1); r < NumResIDs; r++ {
+		if r.String() == "?" || r.String() == "" {
+			t.Fatalf("res %d has no name", r)
+		}
+		if got := ResFromString(r.String()); got != r {
+			t.Errorf("ResFromString(%q) = %v, want %v", r.String(), got, r)
+		}
+	}
+	if ResFromString("") != ResNone {
+		t.Error("empty string must map to ResNone")
+	}
+	if KindFromString("no-such-kind") != EvNone {
+		t.Error("unknown kind must map to EvNone")
+	}
+}
+
+func TestRingKeepsEmissionOrder(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Cycle: uint64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 5 || r.Len() != 5 {
+		t.Fatalf("len = %d/%d, want 5", len(evs), r.Len())
+	}
+	for i, ev := range evs {
+		if ev.Cycle != uint64(i) {
+			t.Fatalf("events out of order: %v", evs)
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestRingWrapDropsOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Cycle: uint64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Cycle != want {
+			t.Fatalf("slot %d = cycle %d, want %d", i, ev.Cycle, want)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", r.Dropped())
+	}
+	if r.Emitted() != 10 {
+		t.Errorf("emitted = %d, want 10", r.Emitted())
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Emitted() != 0 || r.Dropped() != 0 {
+		t.Error("reset did not clear the ring")
+	}
+}
+
+// TestRingConcurrentEmit exercises the ring from several goroutines; the
+// race detector (make check) is the real assertion here.
+func TestRingConcurrentEmit(t *testing.T) {
+	r := NewRing(256)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Emit(Event{Cycle: uint64(i), CPU: int8(g)})
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.Events()
+				r.Len()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if r.Emitted() != goroutines*each {
+		t.Errorf("emitted = %d, want %d", r.Emitted(), goroutines*each)
+	}
+	if r.Len() != 256 {
+		t.Errorf("len = %d, want full ring", r.Len())
+	}
+}
+
+func TestRingEmitDoesNotAllocate(t *testing.T) {
+	r := NewRing(64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Emit(Event{Cycle: 1, Addr: 2, Kind: EvLoad})
+	})
+	if allocs != 0 {
+		t.Errorf("Ring.Emit allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestTeeFansOutAndCollapses(t *testing.T) {
+	if Tee() != nil {
+		t.Error("empty Tee must be nil")
+	}
+	if Tee(nil, nil) != nil {
+		t.Error("Tee of nils must be nil")
+	}
+	a := NewRing(4)
+	if got := Tee(nil, a); got != a {
+		t.Error("single-tracer Tee must collapse to the tracer itself")
+	}
+	b := NewRing(4)
+	tee := Tee(a, b)
+	tee.Emit(Event{Cycle: 7})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("tee did not fan out: a=%d b=%d", a.Len(), b.Len())
+	}
+}
+
+func TestAccountingViolationCounter(t *testing.T) {
+	ResetAccountingViolations()
+	if AccountingViolations() != 0 {
+		t.Fatal("counter not reset")
+	}
+	NoteAccountingViolation()
+	NoteAccountingViolation()
+	if got := AccountingViolations(); got != 2 {
+		t.Errorf("violations = %d, want 2", got)
+	}
+	ResetAccountingViolations()
+}

@@ -1,0 +1,84 @@
+package obsv
+
+import "sync"
+
+// Ring is a bounded in-memory tracer: it keeps the most recent capacity
+// events, overwriting the oldest once full. A mutex makes it safe for
+// concurrent emitters (future sharded simulators, or tests emitting from
+// several goroutines); the simulator's single-threaded cycle loop pays
+// an uncontended lock only when tracing is enabled at all — the disabled
+// path never reaches the Ring.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    uint64 // total events ever emitted; next slot is next % len(buf)
+	dropped uint64 // events overwritten after the ring wrapped
+}
+
+// NewRing returns a ring tracer holding the last capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(ev Event) {
+	r.mu.Lock()
+	if r.next >= uint64(len(r.buf)) {
+		r.dropped++
+	}
+	r.buf[r.next%uint64(len(r.buf))] = ev
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Emitted returns the total number of events ever emitted, including
+// those overwritten after the ring wrapped.
+func (r *Ring) Emitted() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Dropped returns the number of events lost to ring wrap-around.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns the held events in emission order (oldest first).
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	if r.next <= n {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, n)
+	start := r.next % n
+	out = append(out, r.buf[start:]...)
+	out = append(out, r.buf[:start]...)
+	return out
+}
+
+// Reset discards all held events.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next, r.dropped = 0, 0
+}

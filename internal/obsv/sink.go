@@ -1,0 +1,208 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// --- JSONL sink ---
+
+// jsonlEvent is the wire form of an Event: one JSON object per line,
+// with symbolic kind/res/level names so traces are greppable. This is
+// the input format of cmd/tracestats.
+type jsonlEvent struct {
+	Cycle uint64 `json:"cycle"`
+	Kind  string `json:"kind"`
+	CPU   int8   `json:"cpu"`
+	Addr  uint32 `json:"addr"`
+	Arg   uint32 `json:"arg,omitempty"`
+	Arg2  uint32 `json:"arg2,omitempty"`
+	Res   string `json:"res,omitempty"`
+	Level string `json:"level,omitempty"`
+}
+
+func isMemKind(k EventKind) bool {
+	switch k {
+	case EvLoad, EvStore, EvIFetch:
+		return true
+	}
+	return false
+}
+
+// WriteJSONL writes events as JSON Lines in the given order (the ring's
+// emission order; sort first if cycle order matters to the consumer).
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		je := jsonlEvent{
+			Cycle: ev.Cycle,
+			Kind:  ev.Kind.String(),
+			CPU:   ev.CPU,
+			Addr:  ev.Addr,
+			Arg:   ev.Arg,
+			Arg2:  ev.Arg2,
+			Res:   ev.Res.String(),
+		}
+		if isMemKind(ev.Kind) {
+			je.Level = LevelName(ev.Level)
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var je jsonlEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obsv: bad JSONL event %d: %w", len(out), err)
+		}
+		ev := Event{
+			Cycle: je.Cycle,
+			Addr:  je.Addr,
+			Arg:   je.Arg,
+			Arg2:  je.Arg2,
+			Kind:  KindFromString(je.Kind),
+			CPU:   je.CPU,
+			Res:   ResFromString(je.Res),
+		}
+		for l, n := range LevelNames {
+			if n == je.Level {
+				ev.Level = uint8(l)
+			}
+		}
+		out = append(out, ev)
+	}
+}
+
+// --- Chrome trace-event sink ---
+
+// Chrome trace track layout: pid 0 holds one track per CPU (tid = CPU)
+// plus one MSHR track per CPU (tid = 64+CPU); pid 1 holds one track per
+// shared resource bank (tid = ResID*256 + bank). One simulation cycle is
+// written as one microsecond of trace time.
+const (
+	chromePidCPUs      = 0
+	chromePidResources = 1
+	chromeMSHRTidBase  = 64
+)
+
+func chromeResTid(res ResID, bank uint32) int { return int(res)*256 + int(bank) }
+
+// WriteChromeTrace writes events in the Chrome trace-event format
+// (loadable in chrome://tracing and Perfetto). Events are stably sorted
+// by cycle, so emitted timestamps are monotonically non-decreasing. The
+// output is deterministic for a given event slice.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Cycle < sorted[j].Cycle })
+
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Metadata: name every track that appears in the trace.
+	cpus := map[int8]bool{}
+	mshrCPUs := map[int8]bool{}
+	resTracks := map[int]string{}
+	for _, ev := range sorted {
+		switch {
+		case ev.Kind == EvGrant:
+			tid := chromeResTid(ev.Res, ev.Addr)
+			if _, ok := resTracks[tid]; !ok {
+				resTracks[tid] = fmt.Sprintf("%s[%d]", ev.Res, ev.Addr)
+			}
+		case ev.Kind == EvMSHRAlloc || ev.Kind == EvMSHRRetire || ev.Kind == EvMSHRFull:
+			if ev.CPU >= 0 {
+				mshrCPUs[ev.CPU] = true
+			}
+		case ev.CPU >= 0:
+			cpus[ev.CPU] = true
+		}
+	}
+	emit(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"cpus"}}`, chromePidCPUs)
+	emit(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"shared resources"}}`, chromePidResources)
+	for cpu := int8(0); int(cpu) < 64; cpu++ {
+		if cpus[cpu] {
+			emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"cpu%d"}}`,
+				chromePidCPUs, cpu, cpu)
+		}
+		if mshrCPUs[cpu] {
+			emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"cpu%d-mshr"}}`,
+				chromePidCPUs, chromeMSHRTidBase+int(cpu), cpu)
+		}
+	}
+	tids := make([]int, 0, len(resTracks))
+	for tid := range resTracks {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"%s"}}`,
+			chromePidResources, tid, resTracks[tid])
+	}
+
+	dur := func(d uint32) uint32 {
+		if d == 0 {
+			return 1
+		}
+		return d
+	}
+	for _, ev := range sorted {
+		switch ev.Kind {
+		case EvLoad, EvStore, EvIFetch:
+			emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":"%s %s","args":{"addr":"0x%08x"}}`,
+				chromePidCPUs, ev.CPU, ev.Cycle, dur(ev.Arg), ev.Kind, LevelName(ev.Level), ev.Addr)
+		case EvGrant:
+			emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":"grant","args":{"wait":%d}}`,
+				chromePidResources, chromeResTid(ev.Res, ev.Addr), ev.Cycle, dur(ev.Arg), ev.Arg2)
+		case EvMSHRAlloc:
+			emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":"mshr","args":{"addr":"0x%08x"}}`,
+				chromePidCPUs, chromeMSHRTidBase+int(ev.CPU), ev.Cycle, dur(ev.Arg), ev.Addr)
+		case EvMSHRRetire:
+			// The allocation slice already covers the fill; skip.
+		default:
+			emit(`{"ph":"i","pid":%d,"tid":%d,"ts":%d,"s":"t","name":"%s","args":{"addr":"0x%08x","n":%d}}`,
+				chromePidCPUs, maxTid(ev), ev.Cycle, ev.Kind, ev.Addr, ev.Arg)
+		}
+	}
+
+	if _, err := io.WriteString(bw, "\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// maxTid places an instant event on its CPU's track, or track 0 when it
+// has no CPU attribution.
+func maxTid(ev Event) int {
+	if ev.CPU >= 0 {
+		if ev.Kind == EvMSHRFull {
+			return chromeMSHRTidBase + int(ev.CPU)
+		}
+		return int(ev.CPU)
+	}
+	return 0
+}

@@ -1,0 +1,136 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func testEvents() []Event {
+	return []Event{
+		{Cycle: 10, Addr: 0x1000, Arg: 51, Kind: EvLoad, CPU: 0, Level: 2},
+		{Cycle: 12, Addr: 1, Arg: 6, Arg2: 2, Kind: EvGrant, CPU: -1, Res: ResL2Bank},
+		{Cycle: 11, Addr: 0x1000, Arg: 50, Kind: EvMSHRAlloc, CPU: 0},
+		{Cycle: 61, Addr: 0x1000, Kind: EvMSHRRetire, CPU: 0},
+		{Cycle: 30, Addr: 0x2000, Arg: 1, Kind: EvStore, CPU: 1, Level: 0},
+		{Cycle: 40, Addr: 0x2000, Arg: 3, Kind: EvInval, CPU: 1},
+		{Cycle: 45, Kind: EvMSHRFull, CPU: 2},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := testEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip: %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		want := in[i]
+		if want.Kind == EvGrant || want.Kind == EvInval || want.Kind == EvMSHRAlloc ||
+			want.Kind == EvMSHRRetire || want.Kind == EvMSHRFull {
+			// Level is only serialized for memory-access kinds.
+			want.Level = 0
+		}
+		if !reflect.DeepEqual(out[i], want) {
+			t.Errorf("event %d: got %+v, want %+v", i, out[i], want)
+		}
+	}
+}
+
+// chromeTrace mirrors the Chrome trace-event JSON object enough to
+// validate structure.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Ph   string          `json:"ph"`
+		Pid  int             `json:"pid"`
+		Tid  int             `json:"tid"`
+		Ts   *uint64         `json:"ts"`
+		Dur  uint64          `json:"dur"`
+		Name string          `json:"name"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestChromeTraceValidJSONMonotonic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, testEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("emitted Chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	var last uint64
+	var timed, meta int
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			continue
+		case "X", "i":
+			timed++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Ts == nil {
+			t.Fatalf("%s event %q has no ts", ev.Ph, ev.Name)
+		}
+		if *ev.Ts < last {
+			t.Fatalf("timestamps regress: %d after %d", *ev.Ts, last)
+		}
+		last = *ev.Ts
+		if ev.Ph == "X" && ev.Dur == 0 {
+			t.Errorf("complete event %q has zero duration", ev.Name)
+		}
+	}
+	if meta == 0 {
+		t.Error("no track-naming metadata emitted")
+	}
+	// EvMSHRRetire is folded into the allocation slice; everything else
+	// must appear.
+	if want := len(testEvents()) - 1; timed != want {
+		t.Errorf("timed events = %d, want %d", timed, want)
+	}
+}
+
+// TestChromeTraceGolden pins the exact serialized bytes: the writer must
+// stay deterministic (sinks are diffed in golden tests downstream).
+func TestChromeTraceGolden(t *testing.T) {
+	events := []Event{
+		{Cycle: 5, Addr: 0x40, Arg: 14, Kind: EvLoad, CPU: 1, Level: 1},
+		{Cycle: 7, Addr: 0, Arg: 4, Arg2: 0, Kind: EvGrant, CPU: -1, Res: ResL2Bank},
+	}
+	const want = `{"traceEvents":[
+{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"cpus"}},
+{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"shared resources"}},
+{"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"cpu1"}},
+{"ph":"M","pid":1,"tid":512,"name":"thread_name","args":{"name":"l2-bank[0]"}},
+{"ph":"X","pid":0,"tid":1,"ts":5,"dur":14,"name":"load L2","args":{"addr":"0x00000040"}},
+{"ph":"X","pid":1,"tid":512,"ts":7,"dur":4,"name":"grant","args":{"wait":0}}
+],"displayTimeUnit":"ms"}
+`
+	for i := 0; i < 3; i++ { // determinism across repeated serializations
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, events); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != want {
+			t.Fatalf("golden mismatch (run %d):\ngot:\n%s\nwant:\n%s", i, buf.String(), want)
+		}
+	}
+}

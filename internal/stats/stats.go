@@ -10,6 +10,7 @@ import (
 
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
+	"cmpsim/internal/obsv"
 )
 
 // Breakdown is the per-architecture execution-time decomposition of one
@@ -23,9 +24,19 @@ type Breakdown struct {
 	DL2    float64 // data stalls serviced at L2
 	DMem   float64 // data stalls serviced by memory
 	DC2C   float64 // data stalls from cache-to-cache transfers / bus coherence
+
+	// Violation is the magnitude of a stall-accounting invariant
+	// violation: how many cycles the attributed stalls exceeded the run's
+	// total (0 when the books balance). A non-zero value means a CPU
+	// model double-counted stall cycles; it is also tallied in
+	// obsv.AccountingViolations.
+	Violation float64
 }
 
-// FromRun computes a Breakdown from a run result.
+// FromRun computes a Breakdown from a run result. The stall components
+// must sum to no more than the run's total cycles; if they exceed it by
+// more than a rounding epsilon, the excess is recorded as an accounting
+// violation instead of being silently clamped away.
 func FromRun(r *core.RunResult) Breakdown {
 	n := float64(len(r.PerCPU))
 	var b Breakdown
@@ -39,6 +50,14 @@ func FromRun(r *core.RunResult) Breakdown {
 	}
 	b.CPU = b.Total - b.IStall - b.DL1 - b.DL2 - b.DMem - b.DC2C
 	if b.CPU < 0 {
+		eps := 1e-6
+		if e := 1e-9 * b.Total; e > eps {
+			eps = e // scale the tolerance with run length
+		}
+		if -b.CPU > eps {
+			b.Violation = -b.CPU
+			obsv.NoteAccountingViolation()
+		}
 		b.CPU = 0
 	}
 	return b

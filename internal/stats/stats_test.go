@@ -7,6 +7,7 @@ import (
 	"cmpsim/internal/core"
 	"cmpsim/internal/cpu"
 	"cmpsim/internal/memsys"
+	"cmpsim/internal/obsv"
 )
 
 func fakeRun(arch core.Arch, cycles uint64, perCPU []cpu.StallStats) *core.RunResult {
@@ -157,5 +158,50 @@ func TestMissRatesFrom(t *testing.T) {
 	}
 	if !almost(m.L2R, 0.5) || m.L2I != 0 {
 		t.Errorf("L2 rates = %+v", m)
+	}
+}
+
+func TestFromRunRecordsAccountingViolation(t *testing.T) {
+	obsv.ResetAccountingViolations()
+	defer obsv.ResetAccountingViolations()
+
+	// Attributed stalls exceed the run's total cycles: the residual CPU
+	// time would be negative. It must be clamped to zero, but the excess
+	// must be recorded, not silently dropped.
+	var s cpu.StallStats
+	s.DStall[memsys.LvlMem] = 1200
+	r := fakeRun(core.SharedMem, 1000, []cpu.StallStats{s})
+	bd := FromRun(r)
+	if bd.CPU != 0 {
+		t.Errorf("CPU = %v, want clamp to 0", bd.CPU)
+	}
+	if bd.Violation != 200 {
+		t.Errorf("Violation = %v, want 200", bd.Violation)
+	}
+	if got := obsv.AccountingViolations(); got != 1 {
+		t.Errorf("global violation counter = %d, want 1", got)
+	}
+
+	// A clean run must not trip the counter or report a violation.
+	var ok cpu.StallStats
+	ok.DStall[memsys.LvlL2] = 400
+	bd = FromRun(fakeRun(core.SharedMem, 1000, []cpu.StallStats{ok}))
+	if bd.Violation != 0 || bd.CPU != 600 {
+		t.Errorf("clean run: CPU=%v Violation=%v", bd.CPU, bd.Violation)
+	}
+	if got := obsv.AccountingViolations(); got != 1 {
+		t.Errorf("clean run bumped the counter to %d", got)
+	}
+
+	// Stalls summing exactly to the total leave zero CPU time but no
+	// violation.
+	var exact cpu.StallStats
+	exact.DStall[memsys.LvlL1] = 1000
+	bd = FromRun(fakeRun(core.SharedMem, 1000, []cpu.StallStats{exact}))
+	if bd.Violation != 0 || bd.CPU != 0 {
+		t.Errorf("exact run: CPU=%v Violation=%v", bd.CPU, bd.Violation)
+	}
+	if got := obsv.AccountingViolations(); got != 1 {
+		t.Errorf("exact-sum run bumped the counter to %d", got)
 	}
 }
