@@ -1,25 +1,42 @@
 GO ?= go
 
-.PHONY: all build check vet test race bench-trace clean
+.PHONY: all build check vet lint test race smoke bench-trace clean
 
 all: build
 
 build:
 	$(GO) build ./...
 
-# check is the verification gate: static analysis plus the full test
-# suite under the race detector (the trace ring and global counters are
-# the shared-state hot spots).
-check: vet race
+# check is the verification gate: static analysis (vet + the simlint
+# invariant suite), the full test suite under the race detector (the
+# trace ring and global counters are the shared-state hot spots), and a
+# sanitized smoke run of every architecture.
+check: vet lint race smoke
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the project's own go/types-based analyzers (determinism,
+# cycleflow, hotalloc, statreg) over the whole module. See
+# cmd/simlint and the "Correctness tooling" section of the README.
+lint:
+	$(GO) run ./cmd/simlint
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# smoke runs one reduced-size workload per traffic pattern on all three
+# architectures with the runtime sanitizer on: every memory transaction
+# is checked for MESI legality, directory/L1 agreement, inclusion,
+# cycle monotonicity and MSHR drain, and any violation panics with an
+# event trail.
+smoke:
+	$(GO) run ./cmd/cmpsim -workload eqntott -quick -sanitize
+	$(GO) run ./cmd/cmpsim -workload fft -quick -sanitize
+	$(GO) run ./cmd/cmpsim -workload mp3d -quick -sanitize
 
 # bench-trace proves the disabled-instrumentation acceptance bar:
 # BenchmarkTracerDisabled must report 0 allocs/op.

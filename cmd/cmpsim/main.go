@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"cmpsim/internal/check"
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/obsv"
@@ -58,6 +59,23 @@ func writeTraces(ring *obsv.Ring, chromePath, jsonlPath, arch string, multi bool
 	return write(jsonlPath, obsv.WriteJSONL)
 }
 
+// printCoherence prints the coherence-protocol counters of the
+// architectures that have one (bus snooping for shared-mem, the L1
+// sharing directory for shared-L2). These feed the Section 3
+// discussion of coherence traffic and are otherwise invisible in the
+// figure-style breakdowns.
+func printCoherence(rep *memsys.Report) {
+	if sn := rep.Snoop; sn != nil {
+		fmt.Printf("            snoop: rd=%d wr=%d upg=%d inv=%d c2c=%d\n",
+			sn.ReadMissesSnooped, sn.WriteMissesSnooped, sn.Upgrades,
+			sn.InvalidationsSent, sn.CacheToCache)
+	}
+	if d := rep.Dir; d != nil {
+		fmt.Printf("            dir: inv=%d inclusion-evicts=%d\n",
+			d.Invalidations, d.InclusionEvicts)
+	}
+}
+
 func main() {
 	var (
 		wlName  = flag.String("workload", "", "workload to run (see -list)")
@@ -68,6 +86,9 @@ func main() {
 		regions = flag.Bool("regions", false, "profile data accesses by 256KB physical region")
 		list    = flag.Bool("list", false, "list available workloads")
 		verbose = flag.Bool("v", false, "also print raw cycle counts and IPC")
+		quick   = flag.Bool("quick", false, "use reduced data sets (smoke runs)")
+
+		sanitize = flag.Bool("sanitize", false, "validate coherence/cycle invariants on every transaction (panics with an event trail on violation)")
 
 		traceChrome = flag.String("trace", "", "write a Chrome trace (chrome://tracing, Perfetto) to this file")
 		traceJSONL  = flag.String("trace-out", "", "write the raw event trace as JSON Lines (cmd/tracestats input) to this file")
@@ -105,7 +126,13 @@ func main() {
 
 	runs := map[core.Arch]*core.RunResult{}
 	for _, a := range arches {
-		w, err := workload.New(*wlName)
+		var w workload.Workload
+		var err error
+		if *quick {
+			w, err = workload.NewQuick(*wlName)
+		} else {
+			w, err = workload.New(*wlName)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cmpsim:", err)
 			os.Exit(2)
@@ -122,6 +149,14 @@ func main() {
 			ring = obsv.NewRing(*traceBuf)
 			tracers = append(tracers, ring)
 		}
+		var chk *check.Checker
+		if *sanitize {
+			// The checker doubles as a tracer so its violation reports
+			// carry the events leading up to the break.
+			chk = check.New(64)
+			tracers = append(tracers, chk)
+			acfg.Check = chk
+		}
 		acfg.Trace = obsv.Tee(tracers...)
 		if *metricsIvl > 0 {
 			acfg.Metrics = obsv.NewMetrics(*metricsIvl)
@@ -132,8 +167,13 @@ func main() {
 			os.Exit(1)
 		}
 		runs[a] = res
+		if chk != nil {
+			// Reaching here means every check passed (a violation panics).
+			fmt.Printf("%-11s sanitize: %d checks, 0 violations\n", a, chk.Checks())
+		}
 		if *verbose {
 			fmt.Printf("%-11s cycles=%d insts=%d IPC=%.3f\n", a, res.Cycles, res.Instructions(), res.IPC())
+			printCoherence(&res.MemReport)
 		}
 		if prof != nil {
 			fmt.Printf("--- %s: data accesses by 256KB region (top 12 by total latency) ---\n", a)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"cmpsim/internal/core"
+	"cmpsim/internal/cyc"
 	"cmpsim/internal/cpu"
 	"cmpsim/internal/isa"
 	"cmpsim/internal/memsys"
@@ -92,54 +93,30 @@ func main() {
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func eqntott(q bool) workload.Workload {
+// pick builds name at full scale, or the central quick variant
+// (workload.NewQuick) under -quick, so the reduced parameters stay in
+// one place.
+func pick(q bool, name string) workload.Workload {
+	var w workload.Workload
+	var err error
 	if q {
-		return workload.NewEqntott(workload.EqntottParams{Words: 128, Iters: 60})
+		w, err = workload.NewQuick(name)
+	} else {
+		w, err = workload.New(name)
 	}
-	return workload.NewEqntott(workload.EqntottParams{})
+	if err != nil {
+		panic(err) // registry and quick table cover the same seven names
+	}
+	return w
 }
 
-func mp3d(q bool) workload.Workload {
-	if q {
-		return workload.NewMP3D(workload.MP3DParams{Particles: 2048, Steps: 2})
-	}
-	return workload.NewMP3D(workload.MP3DParams{})
-}
-
-func ocean(q bool) workload.Workload {
-	if q {
-		return workload.NewOcean(workload.OceanParams{N: 66, FineIter: 3, CoarseIt: 2})
-	}
-	return workload.NewOcean(workload.OceanParams{})
-}
-
-func volpack(q bool) workload.Workload {
-	if q {
-		return workload.NewVolpack(workload.VolpackParams{Size: 32, Depth: 16})
-	}
-	return workload.NewVolpack(workload.VolpackParams{})
-}
-
-func ear(q bool) workload.Workload {
-	if q {
-		return workload.NewEar(workload.EarParams{Samples: 400})
-	}
-	return workload.NewEar(workload.EarParams{})
-}
-
-func fft(q bool) workload.Workload {
-	if q {
-		return workload.NewFFT(workload.FFTParams{N: 64, Batches: 16})
-	}
-	return workload.NewFFT(workload.FFTParams{})
-}
-
-func pmake(q bool) workload.Workload {
-	if q {
-		return workload.NewPmake(workload.PmakeParams{Procs: 6, Funcs: 48, Passes: 4})
-	}
-	return workload.NewPmake(workload.PmakeParams{})
-}
+func eqntott(q bool) workload.Workload { return pick(q, "eqntott") }
+func mp3d(q bool) workload.Workload    { return pick(q, "mp3d") }
+func ocean(q bool) workload.Workload   { return pick(q, "ocean") }
+func volpack(q bool) workload.Workload { return pick(q, "volpack") }
+func ear(q bool) workload.Workload     { return pick(q, "ear") }
+func fft(q bool) workload.Workload     { return pick(q, "fft") }
+func pmake(q bool) workload.Workload   { return pick(q, "pmake") }
 
 func table1() {
 	fmt.Println("=== Table 1: CPU functional unit latencies (cycles) ===")
@@ -181,35 +158,35 @@ func table2() {
 	r, _ := s1.Access(0, 0, 0x1000, false) // cold -> memory
 	memLat := r.Done
 	r, _ = s1.Access(1000, 0, 0x1000, false) // hit
-	l1Lat := r.Done - 1000
+	l1Lat := cyc.Lat(r.Done, 1000)
 	// L2 hit: evict from L1 via three conflicting fills.
 	for i, a := range []uint32{0x1000 + 32<<10, 0x1000 + 64<<10, 0x1000 + 96<<10} {
 		s1.Access(uint64(2000+200*i), 0, a, false)
 	}
 	r, _ = s1.Access(10000, 0, 0x1000, false)
-	results = append(results, probeResult{"shared-l1", l1Lat, r.Done - 10000, memLat, 0})
+	results = append(results, probeResult{"shared-l1", l1Lat, cyc.Lat(r.Done, 10000), memLat, 0})
 
 	s2 := memsys.NewSharedL2(cfg)
 	r, _ = s2.Access(0, 0, 0x1000, false)
 	memLat = r.Done
 	r, _ = s2.Access(1000, 0, 0x1000, false)
-	l1Lat = r.Done - 1000
+	l1Lat = cyc.Lat(r.Done, 1000)
 	r, _ = s2.Access(2000, 1, 0x1000, false) // other CPU: L2 hit
-	results = append(results, probeResult{"shared-l2", l1Lat, r.Done - 2000, memLat, 0})
+	results = append(results, probeResult{"shared-l2", l1Lat, cyc.Lat(r.Done, 2000), memLat, 0})
 
 	sm := memsys.NewSharedMem(cfg)
 	r, _ = sm.Access(0, 0, 0x1000, false)
 	memLat = r.Done
 	r, _ = sm.Access(1000, 0, 0x1000, false)
-	l1Lat = r.Done - 1000
+	l1Lat = cyc.Lat(r.Done, 1000)
 	r, _ = sm.Access(2000, 1, 0x1000, false) // remote copy: cache-to-cache
-	c2c := r.Done - 2000
+	c2c := cyc.Lat(r.Done, 2000)
 	// L2 hit: evict CPU1's L1 copy by filling its set, then re-read.
 	for i, a := range []uint32{0x1000 + 8<<10, 0x1000 + 16<<10} {
 		sm.Access(uint64(3000+200*i), 1, a, false)
 	}
 	r, _ = sm.Access(10000, 1, 0x1000, false)
-	results = append(results, probeResult{"shared-mem", l1Lat, r.Done - 10000, memLat, c2c})
+	results = append(results, probeResult{"shared-mem", l1Lat, cyc.Lat(r.Done, 10000), memLat, c2c})
 
 	fmt.Printf("  %-11s %6s %6s %6s %6s\n", "arch", "L1", "L2", "mem", "c2c")
 	for _, p := range results {
@@ -288,6 +265,10 @@ func dumpTrace(ring *obsv.Ring, tag string) {
 }
 
 func runFigure(name string, mk func() workload.Workload, model core.CPUModel, cfg *memsys.Config) []stats.IPCRow {
+	// The stall-accounting violation counter is process-global; reset it
+	// so each figure reports only its own violations instead of
+	// accumulating everything since program start.
+	obsv.ResetAccountingViolations()
 	runs := map[core.Arch]*core.RunResult{}
 	var ipcRows []stats.IPCRow
 	var wlName string
@@ -330,6 +311,9 @@ func runFigure(name string, mk func() workload.Workload, model core.CPUModel, cf
 	fig := stats.BuildFigure(name, wlName, model, runs)
 	fmt.Print(fig.String())
 	fmt.Print(fig.Chart())
+	if n := obsv.AccountingViolations(); n > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %d stall-accounting violation(s) in this figure\n", name, n)
+	}
 	fmt.Println()
 	return ipcRows
 }

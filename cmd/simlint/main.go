@@ -1,0 +1,118 @@
+// Command simlint runs the simulator's invariant analyzers (package
+// internal/lint) over the module:
+//
+//	simlint            # analyze the whole module
+//	simlint ./...      # same
+//	simlint internal/memsys internal/cache
+//
+// Findings print as path:line:col: [analyzer] message and the exit
+// status is 1 when any finding survives suppression. -list prints the
+// suite. Suppress an individual finding with a //simlint:allow <name>
+// comment on the offending line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cmpsim/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	// The source importer resolves module-internal imports relative to
+	// the working directory's module; run from the root so any package
+	// argument works.
+	if err := os.Chdir(root); err != nil {
+		fatal(err)
+	}
+
+	loader := lint.NewLoader()
+	pkgs, err := loader.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Positional args narrow the analysis to matching packages; "./..."
+	// and the empty list mean everything. statreg still sees the whole
+	// module for its read-scan, so narrowing only filters the output.
+	filters := packageFilters(flag.Args())
+	diags, err := lint.RunAnalyzers(lint.Analyzers(), pkgs)
+	if err != nil {
+		fatal(err)
+	}
+
+	bad := false
+	for _, d := range diags {
+		if !filters.match(root, d.Pos.Filename) {
+			continue
+		}
+		rel, rerr := filepath.Rel(root, d.Pos.Filename)
+		if rerr != nil {
+			rel = d.Pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+type filterList []string
+
+func packageFilters(args []string) filterList {
+	var fl filterList
+	for _, a := range args {
+		a = strings.TrimPrefix(a, "./")
+		a = strings.TrimSuffix(a, "/...")
+		a = strings.Trim(a, "/")
+		if a == "." || a == "" {
+			return nil // whole module
+		}
+		fl = append(fl, a)
+	}
+	return fl
+}
+
+func (fl filterList) match(root, file string) bool {
+	if len(fl) == 0 {
+		return true
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil {
+		return true
+	}
+	rel = filepath.ToSlash(rel)
+	for _, f := range fl {
+		if strings.HasPrefix(rel, f+"/") || filepath.Dir(rel) == f {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simlint:", err)
+	os.Exit(1)
+}

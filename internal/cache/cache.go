@@ -12,6 +12,8 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+
+	"cmpsim/internal/cyc"
 )
 
 // State is the MESI state of a cache line. Non-coherent caches use
@@ -86,7 +88,7 @@ func (s Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
 
 // ReplMisses returns misses not caused by invalidation (cold, capacity
 // and conflict misses).
-func (s Stats) ReplMisses() uint64 { return s.Misses() - s.InvMisses }
+func (s Stats) ReplMisses() uint64 { return cyc.Sub(s.Misses(), s.InvMisses) }
 
 // MissRate returns misses per reference (the paper's "local miss rate").
 func (s Stats) MissRate() float64 {

@@ -3,6 +3,7 @@ package cache
 import (
 	"sort"
 
+	"cmpsim/internal/cyc"
 	"cmpsim/internal/obsv"
 )
 
@@ -42,6 +43,7 @@ func (m *MSHRFile) SetTracer(tr obsv.Tracer, cpu int) {
 // timestamped completion cycle; tracers must tolerate that (sinks sort).
 func (m *MSHRFile) reap(now uint64) {
 	if m.trace == nil {
+		//simlint:allow determinism — deletion-only sweep; iteration order is unobservable
 		for la, e := range m.entries {
 			if e.done <= now {
 				delete(m.entries, la)
@@ -50,6 +52,7 @@ func (m *MSHRFile) reap(now uint64) {
 		return
 	}
 	var retired []retiredEntry // deterministic emission order despite map iteration
+	//simlint:allow determinism — retirements are sorted by (done, addr) below before emission
 	for la, e := range m.entries {
 		if e.done <= now {
 			delete(m.entries, la)
@@ -113,7 +116,7 @@ func (m *MSHRFile) Allocate(now uint64, lineAddr uint32, done uint64, tag uint8)
 	m.entries[lineAddr] = mshrEntry{done: done, tag: tag}
 	if m.trace != nil {
 		m.trace.Emit(obsv.Event{
-			Cycle: now, Addr: lineAddr, Arg: uint32(done - now),
+			Cycle: now, Addr: lineAddr, Arg: uint32(cyc.Lat(done, now)),
 			Kind: obsv.EvMSHRAlloc, CPU: m.cpu,
 		})
 	}

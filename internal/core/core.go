@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"cmpsim/internal/asm"
+	"cmpsim/internal/check"
 	"cmpsim/internal/cpu"
 	"cmpsim/internal/cpu/mipsy"
 	"cmpsim/internal/event"
@@ -346,6 +347,15 @@ func (m *Machine) Result(cycles uint64) *RunResult {
 	if mets := m.Cfg.Metrics; mets != nil {
 		mets.Flush(m.probe(cycles))
 		res.Metrics = mets
+	}
+	if chk := m.Cfg.Check; chk != nil {
+		// MSHR leak check, after the metrics flush so the probe above saw
+		// the true outstanding count: entries may legitimately complete
+		// after the last CPU halts, so probe far past the end — anything
+		// still in flight at final+DrainSlack was leaked, not late.
+		if mp, ok := m.Sys.(mshrProber); ok {
+			chk.CheckDrain(cycles, mp.MSHROutstanding(cycles+check.DrainSlack))
+		}
 	}
 	return res
 }

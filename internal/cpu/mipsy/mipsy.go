@@ -96,7 +96,7 @@ func (c *CPU) Tick(now uint64) {
 		c.fetchLine = ppc & c.lineMask
 		if r.Done > cur+1 {
 			c.stats.IStall[r.Level] += r.Done - (cur + 1)
-			cur = r.Done - 1 // instruction completes one cycle after arrival
+			cur = r.Done - 1 //simlint:allow cycleflow — r.Done > cur+1 here, so r.Done >= 2
 		}
 	}
 

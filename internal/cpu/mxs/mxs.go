@@ -779,6 +779,7 @@ func (c *CPU) fetch(now uint64) {
 		}
 		fe := fetchEntry{pc: pc, inst: in}
 		fe.predNext = c.predict(pc, in)
+		//simlint:allow hotalloc — fetch queue reuses its backing array at steady state
 		c.fq = append(c.fq, fe)
 		c.fetchPC = fe.predNext
 		if in.Op == isa.SYSCALL || in.Op == isa.HALT {

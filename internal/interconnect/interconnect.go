@@ -5,7 +5,10 @@
 // unit for its occupancy and later requests queue behind it.
 package interconnect
 
-import "cmpsim/internal/obsv"
+import (
+	"cmpsim/internal/cyc"
+	"cmpsim/internal/obsv"
+)
 
 // Resource is a single pipelined unit with busy-until semantics. The
 // zero value (plus a Name) is an idle resource.
@@ -37,16 +40,20 @@ func (r *Resource) Acquire(now, occ uint64) uint64 {
 	if r.busyUntil > start {
 		start = r.busyUntil
 	}
+	// start >= now by construction, but grant timestamps have arrived
+	// out of order before (lazily reaped retirements); saturate rather
+	// than wrap the wait accounting if they ever do again.
+	wait := cyc.Sub(start, now)
 	r.busyUntil = start + occ
 	r.acquires++
-	r.waitCycles += start - now
+	r.waitCycles += wait
 	r.busyCycles += occ
 	if r.trace != nil {
 		r.trace.Emit(obsv.Event{
 			Cycle: start,
 			Addr:  r.bank,
 			Arg:   uint32(occ),
-			Arg2:  uint32(start - now),
+			Arg2:  uint32(wait),
 			Kind:  obsv.EvGrant,
 			CPU:   -1,
 			Res:   r.id,

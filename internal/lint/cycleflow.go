@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// CycleflowAnalyzer enforces the repo's cycle-arithmetic discipline.
+// Cycles are uint64 and only grow, so the dangerous operation is
+// subtraction: an out-of-order pair of timestamps wraps to ~2^64 and
+// poisons every downstream latency statistic (this class of bug
+// motivated internal/cyc). Two rules:
+//
+//  1. A uint64 subtraction a - b must be dominated by a guard proving
+//     a >= b: either an enclosing if/for branch whose condition compares
+//     the same two expressions the right way, or an earlier early-exit
+//     `if a < b { return ... }` in the same block. Calls to cyc.Sub /
+//     cyc.Lat are the blessed saturating form and need no guard.
+//
+//  2. A function taking the current cycle (`now uint64`) must not
+//     return `now - c` for a positive constant c: a completion time
+//     strictly before now is always a modelling bug, guard or not.
+//
+// Arithmetic that is safe for a reason the analyzer cannot see is
+// suppressed with //simlint:allow cycleflow.
+var CycleflowAnalyzer = &Analyzer{
+	Name: "cycleflow",
+	Doc:  "forbid unguarded uint64 cycle subtraction and completion times before now",
+	Scope: func(rel string) bool {
+		if rel == "internal/cyc" || rel == "" {
+			return false // cyc implements the guarded form itself
+		}
+		return scopeUnder("internal", "cmd")(rel)
+	},
+	Run: runCycleflow,
+}
+
+func runCycleflow(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || be.Op != token.SUB {
+				return
+			}
+			tv, ok := info.Types[be]
+			if !ok || !isUint64(tv.Type) {
+				return
+			}
+			if tv.Value != nil {
+				return // constant-folded at compile time; cannot wrap at runtime
+			}
+			xs, ys := exprKey(be.X), exprKey(be.Y)
+			if returnsBeforeNow(info, be, stack) {
+				pass.Reportf(be.Pos(), "returns completion cycle %s - %s, which is before now", xs, ys)
+				return
+			}
+			if subGuarded(be, xs, ys, stack) {
+				return
+			}
+			pass.Reportf(be.Pos(), "unguarded uint64 cycle subtraction %s - %s may wrap; guard with a comparison or use cyc.Sub", xs, ys)
+		})
+	}
+	return nil
+}
+
+func isUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+// subGuarded reports whether the subtraction sub (operands xs - ys) is
+// dominated by a guard establishing xs >= ys.
+func subGuarded(sub ast.Node, xs, ys string, stack []ast.Node) bool {
+	// Enclosing if/for branches.
+	inner := ast.Node(sub)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.IfStmt:
+			inThen := containsNode(s.Body, inner)
+			inElse := s.Else != nil && containsNode(s.Else, inner)
+			if inThen && condImpliesGE(s.Cond, xs, ys) {
+				return true
+			}
+			// In the else branch the condition is false, so a failed
+			// `a < b` proves a >= b.
+			if inElse && condImpliesLT(s.Cond, xs, ys) {
+				return true
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil && containsNode(s.Body, inner) && condImpliesGE(s.Cond, xs, ys) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// Earlier early-exit guard in the same block: any preceding
+			// `if a < b { return/continue/panic }` dominates the rest.
+			var child ast.Node = sub
+			if i+1 <= len(stack)-1 {
+				child = stack[i+1]
+			}
+			for _, st := range s.List {
+				if containsNode(st, inner) || st == child {
+					break
+				}
+				ifs, ok := st.(*ast.IfStmt)
+				if !ok || !bodyTerminates(ifs) {
+					continue
+				}
+				if condImpliesLT(ifs.Cond, xs, ys) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condImpliesGE reports whether cond being true proves xs >= ys; &&
+// conjuncts are each tried.
+func condImpliesGE(cond ast.Expr, xs, ys string) bool {
+	for _, c := range conjuncts(cond) {
+		be, ok := unparen(c).(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		l, r := exprKey(be.X), exprKey(be.Y)
+		switch be.Op {
+		case token.GTR, token.GEQ: // l > r or l >= r
+			if l == xs && r == ys {
+				return true
+			}
+		case token.LSS, token.LEQ: // l < r  ⇒  r > l
+			if l == ys && r == xs {
+				return true
+			}
+		case token.EQL:
+			if (l == xs && r == ys) || (l == ys && r == xs) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condImpliesLT reports whether cond being true proves xs < ys or
+// xs <= ys — i.e. a guard that exits exactly the unsafe cases of
+// xs - ys (allowing <=, since xs == ys makes the difference 0).
+func condImpliesLT(cond ast.Expr, xs, ys string) bool {
+	for _, c := range conjuncts(cond) {
+		be, ok := unparen(c).(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		l, r := exprKey(be.X), exprKey(be.Y)
+		switch be.Op {
+		case token.LSS, token.LEQ:
+			if l == xs && r == ys {
+				return true
+			}
+		case token.GTR, token.GEQ:
+			if l == ys && r == xs {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// returnsBeforeNow reports whether sub is `now - c` (c a positive
+// constant) inside a function taking `now uint64`, used as a returned
+// completion time — directly in a return statement or as the Done field
+// of a composite literal.
+func returnsBeforeNow(info *types.Info, sub *ast.BinaryExpr, stack []ast.Node) bool {
+	fn := enclosingFunc(stack)
+	if fn == nil || !hasNowParam(fn) {
+		return false
+	}
+	if id, ok := unparen(sub.X).(*ast.Ident); !ok || id.Name != "now" {
+		return false
+	}
+	tv, ok := info.Types[sub.Y]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if v, exact := constant.Uint64Val(tv.Value); !exact || v == 0 {
+		return false
+	}
+	// Walk outward through parens: a return result, or a Done: field.
+	var child ast.Node = sub
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.ReturnStmt:
+			return true
+		case *ast.KeyValueExpr:
+			if id, ok := p.Key.(*ast.Ident); ok && id.Name == "Done" && p.Value == child {
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotallocAnalyzer protects the tracer-disabled fast path. PR 1's
+// contract is that with Trace == nil and Metrics == nil the simulator
+// allocates nothing per memory reference (0 allocs/op, enforced by
+// benchmarks); an accidental append, make, or fmt call on that path
+// silently costs 10-30% of simulation throughput before any benchmark
+// notices.
+//
+// A function is "hot" if it takes the current cycle (`now uint64`) or
+// is itself part of the observability surface (Emit / Observe /
+// ObserveAccess). Inside a hot function the analyzer flags
+// allocation-creating expressions (append, make, new, &CompositeLit)
+// and any fmt call, unless the expression is behind a tracer guard —
+// an enclosing `if x != nil` (or an earlier `if x == nil { return }`)
+// where x is a tracer or metrics sink (its type has an Emit, Observe
+// or ObserveAccess method). Guarded code only runs when the user asked
+// for tracing, where allocation is acceptable.
+//
+// Deliberate allocations (e.g. compacting into a reused backing array)
+// are suppressed with //simlint:allow hotalloc.
+var HotallocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocations and fmt calls on the tracer-disabled fast path",
+	Scope: scopeUnder(
+		"internal/cache", "internal/coherence", "internal/core",
+		"internal/cpu", "internal/memsys", "internal/interconnect",
+		"internal/event", "internal/obsv",
+	),
+	Run: runHotalloc,
+}
+
+// sinkMethods identify a tracer/metrics sink by duck typing.
+var sinkMethods = []string{"Emit", "Observe", "ObserveAccess"}
+
+func isHotFunc(fn ast.Node) bool {
+	if hasNowParam(fn) {
+		return true
+	}
+	if fd, ok := fn.(*ast.FuncDecl); ok {
+		switch fd.Name.Name {
+		case "Emit", "Observe", "ObserveAccess":
+			return true
+		}
+	}
+	return false
+}
+
+func runHotalloc(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			fn := enclosingFunc(stack)
+			if fn == nil || !isHotFunc(fn) {
+				return
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch fun := unparen(n.Fun).(type) {
+				case *ast.Ident:
+					if b, ok := info.Uses[fun].(*types.Builtin); ok {
+						switch b.Name() {
+						case "append", "make", "new":
+							if !tracerGuarded(info, n, stack) {
+								pass.Reportf(n.Pos(), "%s allocates on the hot path; preallocate, or guard behind the tracer nil check", b.Name())
+							}
+						}
+					}
+				case *ast.SelectorExpr:
+					if pkgNameOf(info, fun) == "fmt" {
+						if !tracerGuarded(info, n, stack) {
+							pass.Reportf(n.Pos(), "fmt.%s on the hot path allocates and formats per call; move it off the fast path", fun.Sel.Name)
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+						if !tracerGuarded(info, n, stack) {
+							pass.Reportf(n.Pos(), "&composite literal escapes to the heap on the hot path")
+						}
+					}
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// tracerGuarded reports whether node only executes when a tracer or
+// metrics sink is attached: it sits in the body of `if x != nil` (x a
+// sink), or after an earlier `if x == nil { return }` in an enclosing
+// block.
+func tracerGuarded(info *types.Info, node ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.IfStmt:
+			if containsNode(s.Body, node) && condHasSinkNotNil(info, s.Cond) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				if containsNode(st, node) {
+					break
+				}
+				ifs, ok := st.(*ast.IfStmt)
+				if ok && bodyTerminates(ifs) && condHasSinkIsNil(info, ifs.Cond) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condHasSinkNotNil reports whether any && conjunct is `x != nil` with
+// x a tracer/metrics sink.
+func condHasSinkNotNil(info *types.Info, cond ast.Expr) bool {
+	for _, c := range conjuncts(cond) {
+		if x, ok := nilCompare(c, token.NEQ); ok && isSink(info, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// condHasSinkIsNil reports whether the condition is `x == nil` (alone
+// or as a conjunct) with x a sink.
+func condHasSinkIsNil(info *types.Info, cond ast.Expr) bool {
+	for _, c := range conjuncts(cond) {
+		if x, ok := nilCompare(c, token.EQL); ok && isSink(info, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// nilCompare matches `x OP nil` / `nil OP x` and returns x.
+func nilCompare(c ast.Expr, op token.Token) (ast.Expr, bool) {
+	be, ok := unparen(c).(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return nil, false
+	}
+	if isNilIdent(be.Y) {
+		return be.X, true
+	}
+	if isNilIdent(be.X) {
+		return be.Y, true
+	}
+	return nil, false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isSink reports whether x's static type has a tracer/metrics method.
+func isSink(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[unparen(x)]
+	if !ok {
+		return false
+	}
+	return typeHasMethod(tv.Type, sinkMethods...)
+}

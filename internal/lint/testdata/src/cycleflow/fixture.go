@@ -1,0 +1,54 @@
+// Package fixture seeds cycleflow violations: an unguarded uint64
+// subtraction, a completion time returned before now, and the guarded /
+// suppressed forms that must stay silent.
+package fixture
+
+type result struct {
+	Done uint64
+}
+
+func unguarded(a, b uint64) uint64 {
+	return a - b // want "unguarded uint64 cycle subtraction"
+}
+
+func earlyExit(done, now uint64) uint64 {
+	if done < now {
+		return 0
+	}
+	return done - now // ok: dominated by the early exit above
+}
+
+func enclosingGuard(a, b uint64) uint64 {
+	if a >= b {
+		return a - b // ok: guarded branch
+	}
+	return 0
+}
+
+func elseBranch(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	} else {
+		return a - b // ok: the failed a < b proves a >= b
+	}
+}
+
+func compoundOperand(done, cur uint64) uint64 {
+	if done > cur+1 {
+		return done - (cur + 1) // ok: parens around the operand are ignored
+	}
+	return 0
+}
+
+func beforeNow(now uint64) result {
+	return result{Done: now - 1} // want "before now"
+}
+
+func suppressed(a, b uint64) uint64 {
+	return a - b //simlint:allow cycleflow — fixture: suppression must silence this line
+}
+
+func constantFold() uint64 {
+	const width = uint64(32)
+	return width - 8 // ok: folded at compile time
+}

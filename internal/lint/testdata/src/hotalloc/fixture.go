@@ -1,0 +1,52 @@
+// Package fixture seeds hot-path allocations: append/make/fmt and an
+// escaping composite literal inside a cycle-taking function, plus the
+// tracer-guarded and cold forms that must stay silent.
+package fixture
+
+import "fmt"
+
+type event struct {
+	cycle uint64
+}
+
+type sink struct {
+	n int
+}
+
+func (s *sink) Emit(e event) {
+	s.n++ // ok: the sink itself allocates nothing
+}
+
+type unit struct {
+	trace *sink
+	buf   []uint64
+}
+
+func (u *unit) step(now uint64) {
+	u.buf = append(u.buf, now) // want "append allocates"
+
+	fmt.Println(now) // want "fmt.Println"
+
+	p := &event{cycle: now} // want "escapes to the heap"
+	_ = p
+
+	if u.trace != nil {
+		scratch := make([]uint64, 4) // ok: only runs when tracing
+		_ = scratch
+		u.trace.Emit(event{cycle: now})
+	}
+
+	if u.trace == nil {
+		return
+	}
+	fmt.Println("traced", now) // ok: dominated by the nil early exit
+}
+
+func (u *unit) cold(x uint64) {
+	u.buf = append(u.buf, x) // ok: not a hot function (no now parameter)
+}
+
+func (u *unit) deliberate(now uint64) {
+	//simlint:allow hotalloc — fixture: suppression must silence the next line
+	u.buf = append(u.buf, now)
+}

@@ -13,10 +13,16 @@ package memsys
 
 import (
 	"cmpsim/internal/cache"
+	"cmpsim/internal/check"
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/interconnect"
 	"cmpsim/internal/obsv"
 )
+
+// Note on cycle arithmetic: latency computations in the compositions go
+// through cyc.Lat/cyc.Sub (saturating) so an out-of-order completion
+// timestamp can never wrap a uint64 latency; the simlint cycleflow
+// analyzer enforces this.
 
 // Level identifies the deepest memory-hierarchy level involved in
 // servicing a reference; the CPU models attribute stall cycles to it.
@@ -152,6 +158,13 @@ type Config struct {
 	// histograms. Carried by pointer so that Config copies made by the
 	// compositions all feed one collector.
 	Metrics *obsv.Metrics
+
+	// Check, when non-nil, enables the runtime sanitizer: every completed
+	// transaction is validated against the coherence and cycle-flow
+	// invariants (package check), and a violation panics with the recent
+	// event trail. Tee the checker into Trace so the trail is populated.
+	// Opt-in (cmpsim -sanitize): it probes every cache on every access.
+	Check *check.Checker
 }
 
 // traceAccess reports one completed data access to the tracer and the
@@ -253,6 +266,7 @@ func (w *writeBuf) reap(now uint64) {
 	p := w.pending[:0]
 	for _, done := range w.pending {
 		if done > now {
+			//simlint:allow hotalloc — compacts into the reused backing array, never grows it
 			p = append(p, done)
 		}
 	}

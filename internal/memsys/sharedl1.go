@@ -2,6 +2,7 @@ package memsys
 
 import (
 	"cmpsim/internal/cache"
+	"cmpsim/internal/cyc"
 	"cmpsim/internal/interconnect"
 	"cmpsim/internal/obsv"
 )
@@ -120,7 +121,12 @@ func (s *SharedL1) writebackToL2(at uint64, lineAddr uint32) {
 func (s *SharedL1) Access(now uint64, cpu int, addr uint32, write bool) (Result, bool) {
 	r, ok := s.access(now, cpu, addr, write)
 	if ok {
-		s.cfg.traceAccess(now, cpu, addr, write, r.Level, r.Done-now)
+		s.cfg.traceAccess(now, cpu, addr, write, r.Level, cyc.Lat(r.Done, now))
+		if s.cfg.Check != nil {
+			// One shared cache, no coherence: the time invariants are the
+			// whole sanitizer surface here.
+			s.cfg.Check.CheckAccessTime(now, r.Done, cpu, addr)
+		}
 	}
 	return r, ok
 }
@@ -200,7 +206,10 @@ func (s *SharedL1) IFetch(now uint64, cpu int, addr uint32) Result {
 	}
 	dataAt, lvl := s.l2Fetch(now+1, la)
 	ic.Fill(addr, cache.Exclusive)
-	s.cfg.traceIFetch(now, cpu, addr, lvl, dataAt-now)
+	s.cfg.traceIFetch(now, cpu, addr, lvl, cyc.Lat(dataAt, now))
+	if s.cfg.Check != nil {
+		s.cfg.Check.CheckAccessTime(now, dataAt, cpu, addr)
+	}
 	return Result{Done: dataAt, Level: lvl}
 }
 

@@ -3,6 +3,7 @@ package memsys
 import (
 	"cmpsim/internal/cache"
 	"cmpsim/internal/coherence"
+	"cmpsim/internal/cyc"
 	"cmpsim/internal/interconnect"
 	"cmpsim/internal/obsv"
 )
@@ -132,9 +133,32 @@ func (s *SharedL2) evictL2Victim(v cache.Victim, at uint64) {
 func (s *SharedL2) Access(now uint64, cpu int, addr uint32, write bool) (Result, bool) {
 	r, ok := s.access(now, cpu, addr, write)
 	if ok {
-		s.cfg.traceAccess(now, cpu, addr, write, r.Level, r.Done-now)
+		s.cfg.traceAccess(now, cpu, addr, write, r.Level, cyc.Lat(r.Done, now))
+		if s.cfg.Check != nil {
+			s.sanityCheck(now, cpu, addr, r)
+		}
 	}
 	return r, ok
+}
+
+// sanityCheck validates the completed transaction under -sanitize: the
+// completion time, then — for shared-classified lines — that the
+// directory's sharer bitmask exactly matches which L1s hold the line
+// and that inclusion against the shared L2 holds.
+func (s *SharedL2) sanityCheck(now uint64, cpu int, addr uint32, r Result) {
+	chk := s.cfg.Check
+	chk.CheckAccessTime(now, r.Done, cpu, addr)
+	if !s.isShared(addr) {
+		return // private lines are write-back and untracked by design
+	}
+	la := s.dcaches[cpu].LineAddr(addr)
+	var present uint16
+	for i, d := range s.dcaches {
+		if d.Probe(la) != nil {
+			present |= 1 << uint(i)
+		}
+	}
+	chk.CheckDirectory(now, la, s.dir.Sharers(la), present, s.l2.Probe(la) != nil)
 }
 
 // MSHROutstanding returns the in-flight misses summed over the CPUs'
@@ -283,7 +307,10 @@ func (s *SharedL2) IFetch(now uint64, cpu int, addr uint32) Result {
 	}
 	dataAt, lvl := s.l2Fetch(now+1, la)
 	ic.Fill(addr, cache.Exclusive)
-	s.cfg.traceIFetch(now, cpu, addr, lvl, dataAt-now)
+	s.cfg.traceIFetch(now, cpu, addr, lvl, cyc.Lat(dataAt, now))
+	if s.cfg.Check != nil {
+		s.cfg.Check.CheckAccessTime(now, dataAt, cpu, addr)
+	}
 	return Result{Done: dataAt, Level: lvl}
 }
 

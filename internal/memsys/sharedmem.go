@@ -2,7 +2,9 @@ package memsys
 
 import (
 	"cmpsim/internal/cache"
+	"cmpsim/internal/check"
 	"cmpsim/internal/coherence"
+	"cmpsim/internal/cyc"
 	"cmpsim/internal/interconnect"
 	"cmpsim/internal/obsv"
 )
@@ -28,6 +30,8 @@ type SharedMem struct {
 	snoop *coherence.Snoop
 	bus   interconnect.Resource
 	wbufs []writeBuf
+
+	chkNodes []check.NodeState // preallocated sanitizer scratch, nil unless Check is set
 }
 
 // NewSharedMem builds the shared-memory architecture from cfg.
@@ -75,6 +79,9 @@ func NewSharedMem(cfg Config) *SharedMem {
 			s.mshrs[i].SetTracer(cfg.Trace, i)
 		}
 		s.snoop.SetTracer(cfg.Trace)
+	}
+	if cfg.Check != nil {
+		s.chkNodes = make([]check.NodeState, n)
 	}
 	return s
 }
@@ -161,9 +168,25 @@ func (s *SharedMem) writebackL1Victim(cpu int, v cache.Victim, at uint64) {
 func (s *SharedMem) Access(now uint64, cpu int, addr uint32, write bool) (Result, bool) {
 	r, ok := s.access(now, cpu, addr, write)
 	if ok {
-		s.cfg.traceAccess(now, cpu, addr, write, r.Level, r.Done-now)
+		s.cfg.traceAccess(now, cpu, addr, write, r.Level, cyc.Lat(r.Done, now))
+		if s.cfg.Check != nil {
+			s.sanityCheck(now, cpu, addr, r)
+		}
 	}
 	return r, ok
+}
+
+// sanityCheck validates the completed transaction under -sanitize: the
+// completion time, then the MESI/inclusion invariants for the touched
+// line across all four private hierarchies.
+func (s *SharedMem) sanityCheck(now uint64, cpu int, addr uint32, r Result) {
+	chk := s.cfg.Check
+	chk.CheckAccessTime(now, r.Done, cpu, addr)
+	la := s.l1s[cpu].LineAddr(addr)
+	for i := range s.l1s {
+		s.chkNodes[i] = check.NodeState{L1: s.l1s[i].Probe(la), L2: s.l2s[i].Probe(la)}
+	}
+	chk.CheckMESI(now, la, s.chkNodes)
 }
 
 // MSHROutstanding returns the in-flight misses summed over the CPUs'
@@ -295,7 +318,10 @@ func (s *SharedMem) IFetch(now uint64, cpu int, addr uint32) Result {
 		s.evictL2Victim(cpu, victim, start+s.cfg.L2Lat)
 	}
 	ic.Fill(addr, cache.Exclusive)
-	s.cfg.traceIFetch(now, cpu, addr, lvl, dataAt-now)
+	s.cfg.traceIFetch(now, cpu, addr, lvl, cyc.Lat(dataAt, now))
+	if s.cfg.Check != nil {
+		s.cfg.Check.CheckAccessTime(now, dataAt, cpu, addr)
+	}
 	return Result{Done: dataAt, Level: lvl}
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+
+	"cmpsim/internal/cyc"
 )
 
 // maxLevels bounds the memory-hierarchy levels tracked by the latency
@@ -225,19 +227,19 @@ func (m *Metrics) record(p Probe) {
 	s := Sample{
 		Start:   m.last.Cycle,
 		End:     p.Cycle,
-		L1DAcc:  p.L1DAcc - m.last.L1DAcc,
-		L1DMiss: p.L1DMiss - m.last.L1DMiss,
-		L2Acc:   p.L2Acc - m.last.L2Acc,
-		L2Miss:  p.L2Miss - m.last.L2Miss,
+		L1DAcc:  cyc.Sub(p.L1DAcc, m.last.L1DAcc),
+		L1DMiss: cyc.Sub(p.L1DMiss, m.last.L1DMiss),
+		L2Acc:   cyc.Sub(p.L2Acc, m.last.L2Acc),
+		L2Miss:  cyc.Sub(p.L2Miss, m.last.L2Miss),
 		MSHRs:   p.MSHRInFlight,
 	}
-	n := float64(s.End - s.Start)
+	n := float64(cyc.Sub(s.End, s.Start))
 	for i, insts := range p.PerCPUInsts {
 		var prev uint64
 		if i < len(m.last.PerCPUInsts) {
 			prev = m.last.PerCPUInsts[i]
 		}
-		d := insts - prev
+		d := cyc.Sub(insts, prev)
 		s.PerCPU = append(s.PerCPU, CPUSample{Insts: d, IPC: float64(d) / n})
 		s.Insts += d
 	}
@@ -249,9 +251,9 @@ func (m *Metrics) record(p Probe) {
 		}
 		rs := ResSample{
 			Name:     rp.Name,
-			Acquires: rp.Acquires - prev.Acquires,
-			Wait:     rp.Wait - prev.Wait,
-			Busy:     rp.Busy - prev.Busy,
+			Acquires: cyc.Sub(rp.Acquires, prev.Acquires),
+			Wait:     cyc.Sub(rp.Wait, prev.Wait),
+			Busy:     cyc.Sub(rp.Busy, prev.Busy),
 		}
 		rs.Util = float64(rs.Busy) / n
 		s.Resources = append(s.Resources, rs)

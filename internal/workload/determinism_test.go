@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"cmpsim/internal/core"
+)
+
+// TestRunsAreReproducible is the end-to-end determinism regression
+// test backing the simlint determinism analyzer: running the same
+// workload twice on the same architecture must produce bit-identical
+// results — cycle count, per-CPU stall breakdowns, and every cache,
+// coherence and resource counter in the memory report. Any wall-clock
+// read, global-rand call, goroutine or map-order dependence anywhere
+// in the simulator shows up here as a diff.
+func TestRunsAreReproducible(t *testing.T) {
+	for _, arch := range core.Arches() {
+		t.Run(string(arch), func(t *testing.T) {
+			once := func() *core.RunResult {
+				res, err := Run(smallEqntott(), arch, core.ModelMipsy, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			r1, r2 := once(), once()
+			if r1.Cycles != r2.Cycles {
+				t.Errorf("cycle counts differ between identical runs: %d vs %d", r1.Cycles, r2.Cycles)
+			}
+			if !reflect.DeepEqual(r1.PerCPU, r2.PerCPU) {
+				t.Errorf("per-CPU stall stats differ between identical runs:\n%+v\n%+v", r1.PerCPU, r2.PerCPU)
+			}
+			if !reflect.DeepEqual(r1.MemReport, r2.MemReport) {
+				t.Errorf("memory reports differ between identical runs:\n%+v\n%+v", r1.MemReport, r2.MemReport)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"cmpsim/internal/asm"
+	"cmpsim/internal/cyc"
 	"cmpsim/internal/core"
 )
 
@@ -148,7 +149,7 @@ func MeasureLoadLatency(arch core.Arch, model core.CPUModel, chainBytes uint32) 
 	if err != nil {
 		return 0, err
 	}
-	perIter := float64(c2-c1) / float64(i2-i1)
+	perIter := float64(cyc.Sub(c2, c1)) / float64(i2-i1)
 	const loopOverhead = 2.0 // addi + bnez under the 1-IPC simple model
 	return perIter - loopOverhead, nil
 }

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+
+	"cmpsim/internal/check"
+	"cmpsim/internal/core"
+	"cmpsim/internal/memsys"
+)
+
+// TestSanitizedRunsClean is the acceptance gate for the runtime
+// sanitizer: every architecture runs three workloads (quick data sets)
+// with the full invariant suite enabled — MESI legality, directory/L1
+// agreement, inclusion, cycle monotonicity and MSHR drain — and must
+// finish without a violation (a violation panics the run). It also
+// requires the checker to have actually evaluated a meaningful number
+// of invariants, so a mis-wired Config.Check cannot pass silently.
+func TestSanitizedRunsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 9 full simulations; skipped in -short mode")
+	}
+	for _, name := range []string{"eqntott", "fft", "mp3d"} {
+		for _, arch := range core.Arches() {
+			t.Run(name+"/"+string(arch), func(t *testing.T) {
+				w, err := NewQuick(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				chk := check.New(64)
+				cfg := memsys.DefaultConfig()
+				cfg.Check = chk
+				cfg.Trace = chk // populate the violation trail
+				if _, err := Run(w, arch, core.ModelMipsy, &cfg); err != nil {
+					t.Fatal(err)
+				}
+				if chk.Checks() < 1000 {
+					t.Fatalf("sanitizer ran only %d checks; the Config.Check wiring is broken", chk.Checks())
+				}
+			})
+		}
+	}
+}
+
+// TestQuickVariantsExist pins the central quick table to the workload
+// registry: every registered application workload must have a quick
+// variant (latprobe is a microbenchmark with its own size parameters).
+func TestQuickVariantsExist(t *testing.T) {
+	for _, name := range Names() {
+		if name == "latprobe" {
+			continue
+		}
+		w, err := NewQuick(name)
+		if err != nil {
+			t.Errorf("no quick variant of %q: %v", name, err)
+			continue
+		}
+		if w.Name() != name {
+			t.Errorf("NewQuick(%q).Name() = %q", name, w.Name())
+		}
+	}
+	if _, err := NewQuick("no-such-workload"); err == nil {
+		t.Error("NewQuick of an unknown name should fail")
+	}
+}

@@ -64,6 +64,31 @@ func New(name string) (Workload, error) {
 	return f(), nil
 }
 
+// NewQuick returns the named workload with reduced data sets: large
+// enough to exercise every architecture's sharing patterns, small
+// enough for smoke runs. This is the single source of the quick
+// parameters used by `experiments -quick`, `cmpsim -quick`, and the
+// sanitized smoke tests in make check.
+func NewQuick(name string) (Workload, error) {
+	switch name {
+	case "eqntott":
+		return NewEqntott(EqntottParams{Words: 128, Iters: 60}), nil
+	case "mp3d":
+		return NewMP3D(MP3DParams{Particles: 2048, Steps: 2}), nil
+	case "ocean":
+		return NewOcean(OceanParams{N: 66, FineIter: 3, CoarseIt: 2}), nil
+	case "volpack":
+		return NewVolpack(VolpackParams{Size: 32, Depth: 16}), nil
+	case "ear":
+		return NewEar(EarParams{Samples: 400}), nil
+	case "fft":
+		return NewFFT(FFTParams{N: 64, Batches: 16}), nil
+	case "pmake":
+		return NewPmake(PmakeParams{Procs: 6, Funcs: 48, Passes: 4}), nil
+	}
+	return nil, fmt.Errorf("workload: no quick variant of %q (have %v)", name, Names())
+}
+
 // Names lists registered workloads in sorted order.
 func Names() []string {
 	out := make([]string, 0, len(builders))
