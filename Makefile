@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet lint test race smoke bench-trace clean
+.PHONY: all build check vet lint test race smoke race-smoke bench-trace clean
 
 all: build
 
@@ -9,9 +9,10 @@ build:
 
 # check is the verification gate: static analysis (vet + the simlint
 # invariant suite), the full test suite under the race detector (the
-# trace ring and global counters are the shared-state hot spots), and a
-# sanitized smoke run of every architecture.
-check: vet lint race smoke
+# trace ring is the shared-state hot spot), a sanitized smoke run of
+# every architecture, and a race-checked parallel smoke of the runner
+# pool.
+check: vet lint race smoke race-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +38,14 @@ smoke:
 	$(GO) run ./cmd/cmpsim -workload eqntott -quick -sanitize
 	$(GO) run ./cmd/cmpsim -workload fft -quick -sanitize
 	$(GO) run ./cmd/cmpsim -workload mp3d -quick -sanitize
+
+# race-smoke drives the internal/runner worker pool under the race
+# detector: all three architectures of a sanitized quick workload run
+# concurrently on 4 workers, so every make check proves the pool's
+# job isolation (no shared tracer, checker, or counter state) on a
+# real simulation, not just the unit tests.
+race-smoke:
+	$(GO) run -race ./cmd/cmpsim -workload eqntott -quick -sanitize -jobs 4
 
 # bench-trace proves the disabled-instrumentation acceptance bar:
 # BenchmarkTracerDisabled must report 0 allocs/op.

@@ -2,12 +2,18 @@
 // multiprocessor-microprocessor architectures and prints the paper-style
 // execution-time breakdown and miss-rate table.
 //
+// With -arch all (the default) the three architecture runs are
+// independent, so they dispatch through the internal/runner pool:
+// -jobs shards them across cores and -cache-dir memoizes results;
+// output is identical for any worker count.
+//
 // Usage:
 //
 //	cmpsim -workload eqntott                 # all three architectures, Mipsy
 //	cmpsim -workload mp3d -arch shared-l1    # one architecture
 //	cmpsim -workload ear -model mxs          # detailed dynamic superscalar model
 //	cmpsim -workload mp3d -l2assoc 4         # the Section 4.1 L2 ablation
+//	cmpsim -workload eqntott -quick -jobs 4  # parallel smoke run
 //	cmpsim -list                             # list workloads
 package main
 
@@ -22,13 +28,15 @@ import (
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/obsv"
+	"cmpsim/internal/runner"
 	"cmpsim/internal/stats"
 	"cmpsim/internal/workload"
 )
 
-// writeTraces flushes the ring to the requested sink files. When several
-// architectures run in one invocation, each gets its own file with the
-// architecture name spliced in before the extension.
+// writeTraces flushes one run's ring to the requested sink files. When
+// several architectures run in one invocation, each run gets its own
+// files with the architecture name spliced in before the extension —
+// two runs never share a sink, so their events cannot interleave.
 func writeTraces(ring *obsv.Ring, chromePath, jsonlPath, arch string, multi bool) error {
 	events := ring.Events()
 	write := func(path string, fn func(io.Writer, []obsv.Event) error) error {
@@ -88,6 +96,9 @@ func main() {
 		verbose = flag.Bool("v", false, "also print raw cycle counts and IPC")
 		quick   = flag.Bool("quick", false, "use reduced data sets (smoke runs)")
 
+		jobs     = flag.Int("jobs", 0, "max concurrent architecture runs (0 = GOMAXPROCS); output is identical for any value")
+		cacheDir = flag.String("cache-dir", "", "memoize run results as JSON under this directory (\"\" = off)")
+
 		sanitize = flag.Bool("sanitize", false, "validate coherence/cycle invariants on every transaction (panics with an event trail on violation)")
 
 		traceChrome = flag.String("trace", "", "write a Chrome trace (chrome://tracing, Perfetto) to this file")
@@ -124,50 +135,76 @@ func main() {
 		cfg.NumCPUs = *cpus
 	}
 
-	runs := map[core.Arch]*core.RunResult{}
-	for _, a := range arches {
-		var w workload.Workload
-		var err error
-		if *quick {
-			w, err = workload.NewQuick(*wlName)
-		} else {
-			w, err = workload.New(*wlName)
-		}
+	pool := &runner.Pool{Workers: *jobs}
+	if *cacheDir != "" {
+		cache, err := runner.OpenCache(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cmpsim:", err)
-			os.Exit(2)
+			os.Exit(1)
 		}
+		pool.Cache = cache
+	}
+
+	// One job per architecture, each with its own tracer, profile and
+	// checker instances so parallel runs share nothing.
+	variant := "full"
+	if *quick {
+		variant = "quick"
+	}
+	archJobs := make([]runner.Job, len(arches))
+	rings := make([]*obsv.Ring, len(arches))
+	profs := make([]*regionProfile, len(arches))
+	checkers := make([]*check.Checker, len(arches))
+	for i, a := range arches {
 		acfg := cfg
 		var tracers []obsv.Tracer
-		var prof *regionProfile
 		if *regions {
-			prof = newRegionProfile()
-			tracers = append(tracers, prof)
+			profs[i] = newRegionProfile()
+			tracers = append(tracers, profs[i])
 		}
-		var ring *obsv.Ring
 		if *traceChrome != "" || *traceJSONL != "" {
-			ring = obsv.NewRing(*traceBuf)
-			tracers = append(tracers, ring)
+			rings[i] = obsv.NewRing(*traceBuf)
+			tracers = append(tracers, rings[i])
 		}
-		var chk *check.Checker
 		if *sanitize {
 			// The checker doubles as a tracer so its violation reports
 			// carry the events leading up to the break.
-			chk = check.New(64)
-			tracers = append(tracers, chk)
-			acfg.Check = chk
+			checkers[i] = check.New(64)
+			tracers = append(tracers, checkers[i])
+			acfg.Check = checkers[i]
 		}
 		acfg.Trace = obsv.Tee(tracers...)
 		if *metricsIvl > 0 {
 			acfg.Metrics = obsv.NewMetrics(*metricsIvl)
 		}
-		res, err := workload.Run(w, a, core.CPUModel(*model), &acfg)
-		if err != nil {
+		name := *wlName
+		q := *quick
+		archJobs[i] = runner.Job{
+			Workload: func() (workload.Workload, error) {
+				if q {
+					return workload.NewQuick(name)
+				}
+				return workload.New(name)
+			},
+			WorkloadKey: name + "/" + variant,
+			Arch:        a,
+			Model:       core.CPUModel(*model),
+			Cfg:         acfg,
+			Tag:         name + "-" + string(a),
+		}
+	}
+
+	results := pool.Run(archJobs)
+
+	runs := map[core.Arch]*core.RunResult{}
+	for i, a := range arches {
+		if err := results[i].Err; err != nil {
 			fmt.Fprintln(os.Stderr, "cmpsim:", err)
 			os.Exit(1)
 		}
+		res := results[i].Res
 		runs[a] = res
-		if chk != nil {
+		if chk := checkers[i]; chk != nil {
 			// Reaching here means every check passed (a violation panics).
 			fmt.Printf("%-11s sanitize: %d checks, 0 violations\n", a, chk.Checks())
 		}
@@ -175,11 +212,11 @@ func main() {
 			fmt.Printf("%-11s cycles=%d insts=%d IPC=%.3f\n", a, res.Cycles, res.Instructions(), res.IPC())
 			printCoherence(&res.MemReport)
 		}
-		if prof != nil {
+		if prof := profs[i]; prof != nil {
 			fmt.Printf("--- %s: data accesses by 256KB region (top 12 by total latency) ---\n", a)
 			prof.print(os.Stdout, 12)
 		}
-		if ring != nil {
+		if ring := rings[i]; ring != nil {
 			if err := writeTraces(ring, *traceChrome, *traceJSONL, string(a), len(arches) > 1); err != nil {
 				fmt.Fprintln(os.Stderr, "cmpsim:", err)
 				os.Exit(1)
@@ -195,9 +232,9 @@ func main() {
 	}
 
 	if _, ok := runs[core.SharedMem]; !ok {
-		// No baseline for normalization; print raw numbers.
-		for a, r := range runs {
-			b := stats.FromRun(r)
+		// No baseline for normalization; print raw numbers in run order.
+		for _, a := range arches {
+			b := stats.FromRun(runs[a])
 			fmt.Printf("%-11s total=%.0f cpu=%.0f istall=%.0f dstall=%.0f\n",
 				a, b.Total, b.CPU, b.IStall, b.MemStall())
 		}

@@ -5,9 +5,18 @@
 // the Section 4.1 MP3D L2-associativity ablation, and Figure 11 (IPC
 // breakdowns under the detailed dynamic superscalar model).
 //
-//	experiments            # full paper-scale run (a few minutes)
-//	experiments -quick     # reduced data sets for a fast smoke run
-//	experiments -skip-mxs  # only the Mipsy figures
+// The full (architecture × CPU model × workload) grid is dispatched
+// through the internal/runner worker pool: independent runs execute on
+// up to -jobs cores and results are merged in stable order, so the
+// printed figures are byte-identical to a -jobs=1 run. With -cache-dir
+// set, finished cells are memoized on disk and later invocations skip
+// them entirely.
+//
+//	experiments                  # full paper-scale run (a few minutes)
+//	experiments -quick           # reduced data sets for a fast smoke run
+//	experiments -skip-mxs        # only the Mipsy figures
+//	experiments -jobs 4          # shard runs across 4 workers
+//	experiments -cache-dir .sim  # reuse cached results across invocations
 package main
 
 import (
@@ -19,17 +28,19 @@ import (
 	"time"
 
 	"cmpsim/internal/core"
-	"cmpsim/internal/cyc"
 	"cmpsim/internal/cpu"
+	"cmpsim/internal/cyc"
 	"cmpsim/internal/isa"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/obsv"
+	"cmpsim/internal/runner"
 	"cmpsim/internal/stats"
 	"cmpsim/internal/workload"
 )
 
 // obsvOpts carries the observability flags; when tracing or sampling is
-// on, every (figure, architecture) run gets its own output file.
+// on, every (figure, architecture) run gets its own ring and its own
+// output file, so parallel runs can never interleave events.
 type obsvOpts struct {
 	chrome   string
 	jsonl    string
@@ -39,9 +50,78 @@ type obsvOpts struct {
 
 var obsvFlags obsvOpts
 
+// fatalf is the single exit path for run and sink failures: nothing is
+// printed-and-continued, so CI sees a non-zero exit on any broken cell.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// figureSpec is one printed figure: a workload run on all three
+// architectures under one CPU model. jobIdx are the positions of the
+// per-architecture jobs (in core.Arches() order) in the dispatched
+// job slice.
+type figureSpec struct {
+	name   string
+	model  core.CPUModel
+	jobIdx [3]int
+}
+
+// grid accumulates the full experiment job list plus the per-job rings
+// that collect traces for the sink files.
+type grid struct {
+	jobs  []runner.Job
+	rings []*obsv.Ring
+}
+
+// addJob appends one run to the grid, wiring per-job observability
+// attachments, and returns its job index.
+func (g *grid) addJob(wlName string, quick bool, arch core.Arch, model core.CPUModel, cfg memsys.Config, tag string) int {
+	variant := "full"
+	if quick {
+		variant = "quick"
+	}
+	job := runner.Job{
+		Workload: func() (workload.Workload, error) {
+			if quick {
+				return workload.NewQuick(wlName)
+			}
+			return workload.New(wlName)
+		},
+		WorkloadKey: wlName + "/" + variant,
+		Arch:        arch,
+		Model:       model,
+		Cfg:         cfg,
+		Tag:         tag,
+	}
+	var ring *obsv.Ring
+	if obsvFlags.chrome != "" || obsvFlags.jsonl != "" {
+		ring = obsv.NewRing(obsvFlags.bufSize)
+		job.Cfg.Trace = ring
+	}
+	if obsvFlags.interval > 0 {
+		job.Cfg.Metrics = obsv.NewMetrics(obsvFlags.interval)
+	}
+	g.jobs = append(g.jobs, job)
+	g.rings = append(g.rings, ring)
+	return len(g.jobs) - 1
+}
+
+// addFigure appends one workload's three-architecture runs.
+func (g *grid) addFigure(name, wlName string, quick bool, model core.CPUModel) figureSpec {
+	spec := figureSpec{name: name, model: model}
+	for i, a := range core.Arches() {
+		spec.jobIdx[i] = g.addJob(wlName, quick, a, model, memsys.DefaultConfig(),
+			runTag(name)+"-"+string(a))
+	}
+	return spec
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced data sets")
 	skipMXS := flag.Bool("skip-mxs", false, "skip the detailed-CPU (Figure 11) runs")
+	jobs := flag.Int("jobs", 0, "max concurrent simulation runs (0 = GOMAXPROCS); output is identical for any value")
+	cacheDir := flag.String("cache-dir", "", "memoize run results as JSON under this directory (\"\" = off)")
 	flag.StringVar(&obsvFlags.chrome, "trace", "", "write per-run Chrome traces; the figure and architecture are spliced into this filename")
 	flag.StringVar(&obsvFlags.jsonl, "trace-out", "", "write per-run JSONL traces (cmd/tracestats input)")
 	flag.IntVar(&obsvFlags.bufSize, "trace-buf", 1<<20, "trace ring-buffer capacity in events")
@@ -52,35 +132,83 @@ func main() {
 	table1()
 	table2()
 
-	figures := []struct {
-		name string
-		wl   func() workload.Workload
-	}{
-		{"Figure 4: Eqntott", func() workload.Workload { return eqntott(*quick) }},
-		{"Figure 5: MP3D", func() workload.Workload { return mp3d(*quick) }},
-		{"Figure 6: Ocean", func() workload.Workload { return ocean(*quick) }},
-		{"Figure 7: Volpack", func() workload.Workload { return volpack(*quick) }},
-		{"Figure 8: Ear", func() workload.Workload { return ear(*quick) }},
-		{"Figure 9: FFT", func() workload.Workload { return fft(*quick) }},
-		{"Figure 10: Multiprogramming + OS", func() workload.Workload { return pmake(*quick) }},
-	}
-	for _, f := range figures {
-		runFigure(f.name, f.wl, core.ModelMipsy, nil)
+	pool := &runner.Pool{Workers: *jobs}
+	if *cacheDir != "" {
+		cache, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pool.Cache = cache
 	}
 
-	mp3dAblation(*quick)
+	// Build the whole grid up front — Figures 4-10, the Section 4.1
+	// ablation, and Figure 11 — then dispatch it through one pool run so
+	// every independent cell can execute concurrently. Printing happens
+	// afterwards in spec order, which keeps the output byte-identical to
+	// a serial run.
+	var g grid
+	figures := []struct {
+		name string
+		wl   string
+	}{
+		{"Figure 4: Eqntott", "eqntott"},
+		{"Figure 5: MP3D", "mp3d"},
+		{"Figure 6: Ocean", "ocean"},
+		{"Figure 7: Volpack", "volpack"},
+		{"Figure 8: Ear", "ear"},
+		{"Figure 9: FFT", "fft"},
+		{"Figure 10: Multiprogramming + OS", "pmake"},
+	}
+	var mipsySpecs []figureSpec
+	for _, f := range figures {
+		mipsySpecs = append(mipsySpecs, g.addFigure(f.name, f.wl, *quick, core.ModelMipsy))
+	}
+
+	ablationAssocs := []uint32{1, 4}
+	var ablationIdx []int
+	for _, assoc := range ablationAssocs {
+		cfg := memsys.DefaultConfig()
+		cfg.L2Assoc = assoc
+		ablationIdx = append(ablationIdx, g.addJob("mp3d", *quick, core.SharedL1, core.ModelMipsy,
+			cfg, fmt.Sprintf("ablation-mp3d-l2assoc-%d", assoc)))
+	}
+
+	var mxsSpecs []figureSpec
+	if !*skipMXS {
+		for _, f := range []struct {
+			name string
+			wl   string
+		}{
+			{"Figure 11a: Multiprogramming (MXS)", "pmake"},
+			{"Figure 11b: Eqntott (MXS)", "eqntott"},
+			{"Figure 11c: Ear (MXS)", "ear"},
+		} {
+			mxsSpecs = append(mxsSpecs, g.addFigure(f.name, f.wl, *quick, core.ModelMXS))
+		}
+	}
+
+	results := pool.Run(g.jobs)
+
+	for _, spec := range mipsySpecs {
+		printFigure(spec, &g, results)
+	}
+
+	fmt.Println("=== Section 4.1 ablation: MP3D shared-L1 with L2 associativity 1 vs 4 ===")
+	for i, assoc := range ablationAssocs {
+		r := results[ablationIdx[i]]
+		if r.Err != nil {
+			fatalf("%v", r.Err)
+		}
+		res := r.Res
+		fmt.Printf("  L2 %d-way: cycles=%-10d L2 miss rate=%5.1f%%  L1R=%5.1f%%\n",
+			assoc, res.Cycles, 100*res.MemReport.L2.MissRate(), 100*res.MemReport.L1D.ReplRate())
+	}
+	fmt.Println()
 
 	if !*skipMXS {
 		fmt.Println("=== Figure 11: dynamic superscalar (MXS) results ===")
-		for _, f := range []struct {
-			name string
-			wl   func() workload.Workload
-		}{
-			{"Figure 11a: Multiprogramming (MXS)", func() workload.Workload { return pmake(*quick) }},
-			{"Figure 11b: Eqntott (MXS)", func() workload.Workload { return eqntott(*quick) }},
-			{"Figure 11c: Ear (MXS)", func() workload.Workload { return ear(*quick) }},
-		} {
-			rows := runFigure(f.name, f.wl, core.ModelMXS, nil)
+		for _, spec := range mxsSpecs {
+			rows := printFigure(spec, &g, results)
 			fmt.Println("IPC loss breakdown (ideal per-CPU IPC = 2):")
 			for _, r := range rows {
 				fmt.Printf("  %-11s IPC=%.3f  lossI=%.3f  lossD=%.3f  lossPipe=%.3f\n",
@@ -92,31 +220,6 @@ func main() {
 
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
 }
-
-// pick builds name at full scale, or the central quick variant
-// (workload.NewQuick) under -quick, so the reduced parameters stay in
-// one place.
-func pick(q bool, name string) workload.Workload {
-	var w workload.Workload
-	var err error
-	if q {
-		w, err = workload.NewQuick(name)
-	} else {
-		w, err = workload.New(name)
-	}
-	if err != nil {
-		panic(err) // registry and quick table cover the same seven names
-	}
-	return w
-}
-
-func eqntott(q bool) workload.Workload { return pick(q, "eqntott") }
-func mp3d(q bool) workload.Workload    { return pick(q, "mp3d") }
-func ocean(q bool) workload.Workload   { return pick(q, "ocean") }
-func volpack(q bool) workload.Workload { return pick(q, "volpack") }
-func ear(q bool) workload.Workload     { return pick(q, "ear") }
-func fft(q bool) workload.Workload     { return pick(q, "fft") }
-func pmake(q bool) workload.Workload   { return pick(q, "pmake") }
 
 func table1() {
 	fmt.Println("=== Table 1: CPU functional unit latencies (cycles) ===")
@@ -225,38 +328,34 @@ func splice(path, tag string) string {
 	return path[:len(path)-len(ext)] + "." + tag + ext
 }
 
-// dumpTrace writes the ring's events to the per-run trace files.
+// dumpTrace writes one job's ring to that job's trace files (the job
+// tag is spliced into the filename, so no two runs share a sink). Each
+// file is created, written and closed here, per run — a sink failure
+// is fatal, never printed-and-skipped.
 func dumpTrace(ring *obsv.Ring, tag string) {
 	events := ring.Events()
-	if obsvFlags.chrome != "" {
-		path := splice(obsvFlags.chrome, tag)
+	write := func(path string, fn func(*os.File, []obsv.Event) error) {
 		f, err := os.Create(path)
 		if err == nil {
-			err = obsv.WriteChromeTrace(f, events)
+			err = fn(f, events)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		fmt.Printf("  [trace] %d events -> %s\n", len(events), path)
 	}
+	if obsvFlags.chrome != "" {
+		write(splice(obsvFlags.chrome, tag), func(f *os.File, evs []obsv.Event) error {
+			return obsv.WriteChromeTrace(f, evs)
+		})
+	}
 	if obsvFlags.jsonl != "" {
-		path := splice(obsvFlags.jsonl, tag)
-		f, err := os.Create(path)
-		if err == nil {
-			err = obsv.WriteJSONL(f, events)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("  [trace] %d events -> %s\n", len(events), path)
+		write(splice(obsvFlags.jsonl, tag), func(f *os.File, evs []obsv.Event) error {
+			return obsv.WriteJSONL(f, evs)
+		})
 	}
 	if ring.Dropped() > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: trace ring dropped %d of %d events (raise -trace-buf)\n",
@@ -264,36 +363,24 @@ func dumpTrace(ring *obsv.Ring, tag string) {
 	}
 }
 
-func runFigure(name string, mk func() workload.Workload, model core.CPUModel, cfg *memsys.Config) []stats.IPCRow {
-	// The stall-accounting violation counter is process-global; reset it
-	// so each figure reports only its own violations instead of
-	// accumulating everything since program start.
-	obsv.ResetAccountingViolations()
+// printFigure renders one figure from its per-architecture results:
+// trace dumps and metrics summaries first (in architecture order),
+// then the breakdown table, chart and any accounting violations. A
+// failed run aborts with a non-zero exit.
+func printFigure(spec figureSpec, g *grid, results []runner.Result) []stats.IPCRow {
 	runs := map[core.Arch]*core.RunResult{}
 	var ipcRows []stats.IPCRow
 	var wlName string
-	for _, a := range core.Arches() {
-		w := mk()
-		wlName = w.Name()
-		acfg := memsys.DefaultConfig()
-		if cfg != nil {
-			acfg = *cfg
+	for i, a := range core.Arches() {
+		idx := spec.jobIdx[i]
+		r := results[idx]
+		if r.Err != nil {
+			fatalf("%s on %s: %v", spec.name, a, r.Err)
 		}
-		var ring *obsv.Ring
-		if obsvFlags.chrome != "" || obsvFlags.jsonl != "" {
-			ring = obsv.NewRing(obsvFlags.bufSize)
-			acfg.Trace = ring
-		}
-		if obsvFlags.interval > 0 {
-			acfg.Metrics = obsv.NewMetrics(obsvFlags.interval)
-		}
-		res, err := workload.Run(w, a, model, &acfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s on %s: %v\n", name, a, err)
-			os.Exit(1)
-		}
-		if ring != nil {
-			dumpTrace(ring, runTag(name)+"-"+string(a))
+		res := r.Res
+		wlName = strings.SplitN(g.jobs[idx].WorkloadKey, "/", 2)[0]
+		if ring := g.rings[idx]; ring != nil {
+			dumpTrace(ring, g.jobs[idx].Tag)
 		}
 		if res.Metrics != nil {
 			samples := res.Metrics.Samples()
@@ -308,29 +395,12 @@ func runFigure(name string, mk func() workload.Workload, model core.CPUModel, cf
 		runs[a] = res
 		ipcRows = append(ipcRows, stats.IPCBreakdown(res))
 	}
-	fig := stats.BuildFigure(name, wlName, model, runs)
+	fig := stats.BuildFigure(spec.name, wlName, spec.model, runs)
 	fmt.Print(fig.String())
 	fmt.Print(fig.Chart())
-	if n := obsv.AccountingViolations(); n > 0 {
-		fmt.Fprintf(os.Stderr, "experiments: %s: %d stall-accounting violation(s) in this figure\n", name, n)
+	if n := fig.AccountingViolations(); n > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %d stall-accounting violation(s) in this figure\n", spec.name, n)
 	}
 	fmt.Println()
 	return ipcRows
-}
-
-func mp3dAblation(q bool) {
-	fmt.Println("=== Section 4.1 ablation: MP3D shared-L1 with L2 associativity 1 vs 4 ===")
-	for _, assoc := range []uint32{1, 4} {
-		cfg := memsys.DefaultConfig()
-		cfg.L2Assoc = assoc
-		w := mp3d(q)
-		res, err := workload.Run(w, core.SharedL1, core.ModelMipsy, &cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("  L2 %d-way: cycles=%-10d L2 miss rate=%5.1f%%  L1R=%5.1f%%\n",
-			assoc, res.Cycles, 100*res.MemReport.L2.MissRate(), 100*res.MemReport.L1D.ReplRate())
-	}
-	fmt.Println()
 }

@@ -5,21 +5,29 @@
 // the Design Space for a Shared-Cache Multiprocessor", ISCA '94) ran,
 // applied to this simulator.
 //
+// Sweep points are independent simulations, so they are dispatched
+// through the internal/runner pool: -jobs shards them across cores
+// (the printed table is identical for any worker count) and -cache-dir
+// memoizes each point, so re-sweeping with an extended value list only
+// simulates the new points.
+//
 //	sweep -workload mp3d -arch shared-l1 -param l2assoc -values 1,2,4,8
 //	sweep -workload ear -arch shared-l1 -param sharedl1hit -values 1,2,3,5
 //	sweep -workload ocean -arch shared-l2 -param sharedl2occ -values 1,2,4,8
-//	sweep -workload eqntott -arch shared-mem -param c2clat -values 50,60,80,120
+//	sweep -workload eqntott -arch shared-mem -param c2clat -values 50,60,80,120 -jobs 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
+	"cmpsim/internal/runner"
 	"cmpsim/internal/workload"
 )
 
@@ -58,12 +66,19 @@ func main() {
 	param := flag.String("param", "", "parameter to sweep (see -params)")
 	values := flag.String("values", "", "comma-separated values")
 	model := flag.String("model", "mipsy", "cpu model")
+	jobs := flag.Int("jobs", 0, "max concurrent sweep points (0 = GOMAXPROCS); output is identical for any value")
+	cacheDir := flag.String("cache-dir", "", "memoize sweep-point results as JSON under this directory (\"\" = off)")
 	list := flag.Bool("params", false, "list sweepable parameters")
 	flag.Parse()
 
 	if *list {
-		for name, p := range params {
-			fmt.Printf("%-14s %s\n", name, p.help)
+		names := make([]string, 0, len(params))
+		for name := range params {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-14s %s\n", name, params[name].help)
 		}
 		return
 	}
@@ -77,9 +92,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("sweeping %s on %s/%s (%s model)\n", *param, *wlName, *archStr, *model)
-	fmt.Printf("%12s %12s %8s %8s %8s %8s %8s\n", *param, "cycles", "speedup", "L1R%", "L1I%", "L2R%", "L2I%")
-	var base float64
+	pool := &runner.Pool{Workers: *jobs}
+	if *cacheDir != "" {
+		cache, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		pool.Cache = cache
+	}
+
+	var points []uint64
+	var sweepJobs []runner.Job
 	for _, vs := range strings.Split(*values, ",") {
 		v, err := strconv.ParseUint(strings.TrimSpace(vs), 10, 64)
 		if err != nil {
@@ -88,22 +112,37 @@ func main() {
 		}
 		cfg := memsys.DefaultConfig()
 		p.set(&cfg, v)
-		w, err := workload.New(*wlName)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(2)
-		}
-		res, err := workload.Run(w, core.Arch(*archStr), core.CPUModel(*model), &cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
+		name := *wlName
+		points = append(points, v)
+		sweepJobs = append(sweepJobs, runner.Job{
+			Workload:    func() (workload.Workload, error) { return workload.New(name) },
+			WorkloadKey: name + "/full",
+			Arch:        core.Arch(*archStr),
+			Model:       core.CPUModel(*model),
+			Cfg:         cfg,
+			Tag:         fmt.Sprintf("%s-%s-%s-%d", name, *archStr, *param, v),
+		})
+	}
+
+	results := pool.Run(sweepJobs)
+
+	fmt.Printf("sweeping %s on %s/%s (%s model)\n", *param, *wlName, *archStr, *model)
+	fmt.Printf("%12s %12s %8s %8s %8s %8s %8s\n", *param, "cycles", "speedup", "L1R%", "L1I%", "L2R%", "L2I%")
+	var base float64
+	for i, r := range results {
+		// Any failed point is a broken sweep: report it and exit non-zero
+		// so CI cannot mistake a partial table for a finished study.
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", r.Err)
 			os.Exit(1)
 		}
+		res := r.Res
 		if base == 0 {
 			base = float64(res.Cycles)
 		}
 		rep := res.MemReport
 		fmt.Printf("%12d %12d %7.2fx %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
-			v, res.Cycles, base/float64(res.Cycles),
+			points[i], res.Cycles, base/float64(res.Cycles),
 			100*rep.L1D.ReplRate(), 100*rep.L1D.InvRate(),
 			100*rep.L2.ReplRate(), 100*rep.L2.InvRate())
 	}

@@ -28,6 +28,7 @@ import (
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/obsv"
+	"cmpsim/internal/runner"
 	"cmpsim/internal/stats"
 	"cmpsim/internal/workload"
 )
@@ -135,6 +136,30 @@ type IPCRow = stats.IPCRow
 
 // IPCBreakdownOf computes a Figure 11 row from an MXS run.
 func IPCBreakdownOf(r *Result) IPCRow { return stats.IPCBreakdown(r) }
+
+// --- parallel runs and result caching (package runner) ---
+
+// Job is one independent simulation run for the parallel runner: a
+// fresh workload on one architecture under one CPU model and config.
+// Distinct jobs share no state, so a grid of them is embarrassingly
+// parallel; see RunnerPool.
+type Job = runner.Job
+
+// JobResult is one Job's outcome, in the same slice position.
+type JobResult = runner.Result
+
+// RunnerPool shards independent jobs across a worker pool and merges
+// results in stable job order — parallel output is bit-identical to
+// serial. Set Cache to memoize results across invocations.
+type RunnerPool = runner.Pool
+
+// RunCache is a directory of JSON-serialized run results keyed by a
+// canonical hash of (sim version, workload, architecture, CPU model,
+// config); repeated invocations skip already-computed runs.
+type RunCache = runner.Cache
+
+// OpenRunCache opens (creating if needed) a result cache directory.
+func OpenRunCache(dir string) (*RunCache, error) { return runner.OpenCache(dir) }
 
 // --- observability (package obsv) ---
 

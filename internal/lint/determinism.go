@@ -22,6 +22,14 @@ import (
 //
 // Map iteration whose effects are provably order-independent (e.g. a
 // deletion-only sweep) is suppressed with //simlint:allow determinism.
+//
+// The goroutine ban is deliberately scoped to the simulation core.
+// One level up, internal/runner's worker pool and the cmd/ drivers
+// spawn goroutines on purpose: distinct runs share no mutable state,
+// so run-level parallelism is sound precisely because in-run
+// parallelism is banned here. The scope list below is that boundary —
+// internal/runner and cmd/* are intentionally absent, and
+// TestDeterminismScopeExcludesDriverPool pins it.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock, global rand, goroutines and map-order iteration in simulator state machines",

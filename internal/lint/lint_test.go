@@ -143,3 +143,32 @@ func TestShippedTreeClean(t *testing.T) {
 		t.Errorf("%s", fmt.Sprintf("%s:%d:%d: [%s] %s", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message))
 	}
 }
+
+// TestDeterminismScopeExcludesDriverPool pins the goroutine boundary:
+// the determinism analyzer's goroutine ban covers the simulation core,
+// while the driver-level parallelism one level up — internal/runner's
+// worker pool and the cmd/ drivers that dispatch through it — is
+// deliberately outside its scope. If the scope ever grows to swallow
+// the runner (breaking the parallel experiment driver) or shrinks to
+// exempt part of the core (losing the in-run goroutine ban), this
+// fails before the tree does.
+func TestDeterminismScopeExcludesDriverPool(t *testing.T) {
+	scope := lint.DeterminismAnalyzer.Scope
+	for _, rel := range []string{
+		"internal/cache", "internal/coherence", "internal/core",
+		"internal/cpu", "internal/cpu/mxs", "internal/memsys",
+		"internal/interconnect", "internal/event",
+	} {
+		if !scope(rel) {
+			t.Errorf("simulation-core package %s escaped the determinism scope", rel)
+		}
+	}
+	for _, rel := range []string{
+		"internal/runner", "cmd/experiments", "cmd/sweep", "cmd/cmpsim",
+		"internal/workload", "internal/stats", "internal/obsv",
+	} {
+		if scope(rel) {
+			t.Errorf("driver-level package %s must stay outside the determinism scope (the runner pool spawns goroutines by design)", rel)
+		}
+	}
+}

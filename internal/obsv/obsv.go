@@ -19,8 +19,6 @@
 //     log2-bucket latency histograms for data-miss service time.
 package obsv
 
-import "sync/atomic"
-
 // EventKind discriminates trace events. The Event field comments below
 // describe how each kind uses the generic fields.
 type EventKind uint8
@@ -200,24 +198,8 @@ func (t teeTracer) Emit(ev Event) {
 		tr.Emit(ev)
 	}
 }
-
-// --- global counters ---
-
-// Counters are cheap always-on tallies for conditions that should never
-// happen but must not vanish silently when they do (accounting-invariant
-// violations in the stall decomposition, satellite of the Figure 4-10
-// pipeline). They are process-global and atomic: the stats layer has no
-// machine handle, and the counters exist precisely to surface bugs that
-// cross run boundaries.
-var accountingViolations atomic.Uint64
-
-// NoteAccountingViolation records one stall-accounting invariant
-// violation (stall cycles summed to more than total cycles).
-func NoteAccountingViolation() { accountingViolations.Add(1) }
-
-// AccountingViolations returns the number of violations recorded since
-// process start.
-func AccountingViolations() uint64 { return accountingViolations.Load() }
-
-// ResetAccountingViolations zeroes the counter (tests).
-func ResetAccountingViolations() { accountingViolations.Store(0) }
+// Note: this package deliberately holds no mutable package-level
+// state. Per-run tallies (e.g. the stall-accounting violation recorded
+// by stats.FromRun) live on per-run values, so back-to-back runs in
+// one process cannot bleed into each other and the parallel runner
+// (internal/runner) can execute runs concurrently without races.

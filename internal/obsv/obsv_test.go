@@ -140,16 +140,3 @@ func TestTeeFansOutAndCollapses(t *testing.T) {
 		t.Errorf("tee did not fan out: a=%d b=%d", a.Len(), b.Len())
 	}
 }
-
-func TestAccountingViolationCounter(t *testing.T) {
-	ResetAccountingViolations()
-	if AccountingViolations() != 0 {
-		t.Fatal("counter not reset")
-	}
-	NoteAccountingViolation()
-	NoteAccountingViolation()
-	if got := AccountingViolations(); got != 2 {
-		t.Errorf("violations = %d, want 2", got)
-	}
-	ResetAccountingViolations()
-}

@@ -1,0 +1,145 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cmpsim/internal/core"
+	"cmpsim/internal/memsys"
+	"cmpsim/internal/workload"
+)
+
+// smallJob is one fast (workload × arch) cell for pool tests: small
+// enough that a 3×3 grid finishes in well under a second.
+func smallJob(arch core.Arch) Job {
+	return Job{
+		Workload: func() (workload.Workload, error) {
+			return workload.NewEqntott(workload.EqntottParams{Words: 64, Iters: 40}), nil
+		},
+		WorkloadKey: "eqntott/words=64,iters=40",
+		Arch:        arch,
+		Model:       core.ModelMipsy,
+		Cfg:         memsys.DefaultConfig(),
+		Tag:         "test-eqntott-" + string(arch),
+	}
+}
+
+// smallGrid is the quick test table: one small workload on every
+// architecture, three times over with different configs so the pool
+// has enough cells to keep several workers busy.
+func smallGrid() []Job {
+	var jobs []Job
+	for _, assoc := range []uint32{1, 2, 4} {
+		for _, a := range core.Arches() {
+			j := smallJob(a)
+			j.Cfg.L2Assoc = assoc
+			j.Tag = fmt.Sprintf("%s-assoc%d", j.Tag, assoc)
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+// TestParallelEqualsSerial is the pool's core guarantee: running the
+// quick grid with 1 worker and with 4 workers must produce
+// bit-identical merged reports — same cycle counts, per-CPU stall
+// breakdowns and memory reports in the same positions. Any shared
+// mutable state between runs (a process-global counter, a shared
+// tracer, scheduler-order dependence) shows up here as a diff, and
+// under -race as a report.
+func TestParallelEqualsSerial(t *testing.T) {
+	serial := (&Pool{Workers: 1}).Run(smallGrid())
+	parallel := (&Pool{Workers: 4}).Run(smallGrid())
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("job %d failed: serial=%v parallel=%v", i, serial[i].Err, parallel[i].Err)
+		}
+		s, p := serial[i].Res, parallel[i].Res
+		if s.Cycles != p.Cycles {
+			t.Errorf("job %d: cycles differ: serial=%d parallel=%d", i, s.Cycles, p.Cycles)
+		}
+		if !reflect.DeepEqual(s.PerCPU, p.PerCPU) {
+			t.Errorf("job %d: per-CPU stats differ:\n%+v\n%+v", i, s.PerCPU, p.PerCPU)
+		}
+		if !reflect.DeepEqual(s.MemReport, p.MemReport) {
+			t.Errorf("job %d: memory reports differ:\n%+v\n%+v", i, s.MemReport, p.MemReport)
+		}
+	}
+}
+
+// TestMoreWorkersThanJobs checks the worker clamp: a pool with more
+// workers than jobs must still complete every job exactly once, in
+// order.
+func TestMoreWorkersThanJobs(t *testing.T) {
+	jobs := []Job{smallJob(core.SharedL1), smallJob(core.SharedMem)}
+	results := (&Pool{Workers: 16}).Run(jobs)
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Res.Arch != jobs[i].Arch {
+			t.Errorf("result %d is for arch %s, want %s (order not preserved)", i, r.Res.Arch, jobs[i].Arch)
+		}
+	}
+}
+
+// TestEmptyAndZeroWorkerPool covers the degenerate inputs.
+func TestEmptyAndZeroWorkerPool(t *testing.T) {
+	if got := (&Pool{}).Run(nil); len(got) != 0 {
+		t.Errorf("empty job list returned %d results", len(got))
+	}
+	// Workers == 0 defaults to GOMAXPROCS and must still run jobs.
+	results := (&Pool{}).Run([]Job{smallJob(core.SharedL1)})
+	if len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("zero-worker pool: %+v", results)
+	}
+}
+
+// TestJobErrorsStayPositional verifies that one failing job reports
+// its error in its own slot without poisoning the rest of the batch,
+// and that FirstErr surfaces it.
+func TestJobErrorsStayPositional(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job{
+		smallJob(core.SharedL1),
+		{
+			Workload: func() (workload.Workload, error) { return nil, boom },
+			Arch:     core.SharedL2,
+			Model:    core.ModelMipsy,
+			Cfg:      memsys.DefaultConfig(),
+			Tag:      "failing",
+		},
+		smallJob(core.SharedMem),
+	}
+	results := (&Pool{Workers: 3}).Run(jobs)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("healthy jobs failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil || !errors.Is(results[1].Err, boom) {
+		t.Errorf("failing job error = %v, want wrapped boom", results[1].Err)
+	}
+	if err := FirstErr(results); !errors.Is(err, boom) {
+		t.Errorf("FirstErr = %v, want boom", err)
+	}
+	if err := FirstErr(results[:1]); err != nil {
+		t.Errorf("FirstErr of clean prefix = %v, want nil", err)
+	}
+}
+
+// TestUnknownArchPropagates makes sure a run-level failure (not a
+// workload construction failure) also lands in Result.Err.
+func TestUnknownArchPropagates(t *testing.T) {
+	j := smallJob("no-such-arch")
+	results := (&Pool{Workers: 1}).Run([]Job{j})
+	if results[0].Err == nil {
+		t.Fatal("unknown architecture did not error")
+	}
+}

@@ -10,7 +10,6 @@ import (
 
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
-	"cmpsim/internal/obsv"
 )
 
 // Breakdown is the per-architecture execution-time decomposition of one
@@ -28,8 +27,11 @@ type Breakdown struct {
 	// Violation is the magnitude of a stall-accounting invariant
 	// violation: how many cycles the attributed stalls exceeded the run's
 	// total (0 when the books balance). A non-zero value means a CPU
-	// model double-counted stall cycles; it is also tallied in
-	// obsv.AccountingViolations.
+	// model double-counted stall cycles. The tally is per-run state (not
+	// a process-global counter), so concurrent runs in the parallel
+	// runner cannot race and back-to-back runs cannot bleed violations
+	// into each other; Figure.AccountingViolations aggregates it per
+	// figure.
 	Violation float64
 }
 
@@ -56,7 +58,6 @@ func FromRun(r *core.RunResult) Breakdown {
 		}
 		if -b.CPU > eps {
 			b.Violation = -b.CPU
-			obsv.NoteAccountingViolation()
 		}
 		b.CPU = 0
 	}
@@ -151,6 +152,22 @@ func BuildFigure(name, workload string, model core.CPUModel, runs map[core.Arch]
 		})
 	}
 	return fig
+}
+
+// AccountingViolations counts the rows of the figure whose stall
+// decomposition violated the accounting invariant (attributed stalls
+// exceeding the run's total cycles). This replaces the old
+// process-global obsv counter: the tally is derived from the figure's
+// own rows, so it is naturally per-figure and safe under the parallel
+// runner.
+func (f Figure) AccountingViolations() int {
+	n := 0
+	for _, r := range f.Rows {
+		if r.B.Violation > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // String renders the figure as the text table the paper's bar charts

@@ -7,7 +7,6 @@ import (
 	"cmpsim/internal/core"
 	"cmpsim/internal/cpu"
 	"cmpsim/internal/memsys"
-	"cmpsim/internal/obsv"
 )
 
 func fakeRun(arch core.Arch, cycles uint64, perCPU []cpu.StallStats) *core.RunResult {
@@ -162,12 +161,9 @@ func TestMissRatesFrom(t *testing.T) {
 }
 
 func TestFromRunRecordsAccountingViolation(t *testing.T) {
-	obsv.ResetAccountingViolations()
-	defer obsv.ResetAccountingViolations()
-
 	// Attributed stalls exceed the run's total cycles: the residual CPU
 	// time would be negative. It must be clamped to zero, but the excess
-	// must be recorded, not silently dropped.
+	// must be recorded on the breakdown itself, not silently dropped.
 	var s cpu.StallStats
 	s.DStall[memsys.LvlMem] = 1200
 	r := fakeRun(core.SharedMem, 1000, []cpu.StallStats{s})
@@ -178,19 +174,13 @@ func TestFromRunRecordsAccountingViolation(t *testing.T) {
 	if bd.Violation != 200 {
 		t.Errorf("Violation = %v, want 200", bd.Violation)
 	}
-	if got := obsv.AccountingViolations(); got != 1 {
-		t.Errorf("global violation counter = %d, want 1", got)
-	}
 
-	// A clean run must not trip the counter or report a violation.
+	// A clean run must not report a violation.
 	var ok cpu.StallStats
 	ok.DStall[memsys.LvlL2] = 400
 	bd = FromRun(fakeRun(core.SharedMem, 1000, []cpu.StallStats{ok}))
 	if bd.Violation != 0 || bd.CPU != 600 {
 		t.Errorf("clean run: CPU=%v Violation=%v", bd.CPU, bd.Violation)
-	}
-	if got := obsv.AccountingViolations(); got != 1 {
-		t.Errorf("clean run bumped the counter to %d", got)
 	}
 
 	// Stalls summing exactly to the total leave zero CPU time but no
@@ -201,7 +191,29 @@ func TestFromRunRecordsAccountingViolation(t *testing.T) {
 	if bd.Violation != 0 || bd.CPU != 0 {
 		t.Errorf("exact run: CPU=%v Violation=%v", bd.CPU, bd.Violation)
 	}
-	if got := obsv.AccountingViolations(); got != 1 {
-		t.Errorf("exact-sum run bumped the counter to %d", got)
+}
+
+// TestFigureAccountingViolations verifies the per-figure aggregation
+// that replaced the process-global counter: only rows whose stalls
+// overran the total are counted, and separate figures cannot bleed
+// into each other because the tally lives on the figure's rows.
+func TestFigureAccountingViolations(t *testing.T) {
+	var bad cpu.StallStats
+	bad.DStall[memsys.LvlMem] = 1500
+	var good cpu.StallStats
+	good.DStall[memsys.LvlL2] = 400
+	runs := map[core.Arch]*core.RunResult{
+		core.SharedL1:  fakeRun(core.SharedL1, 1000, []cpu.StallStats{bad}),
+		core.SharedMem: fakeRun(core.SharedMem, 1000, []cpu.StallStats{good}),
+	}
+	fig := BuildFigure("violating", "fake", core.ModelMipsy, runs)
+	if got := fig.AccountingViolations(); got != 1 {
+		t.Errorf("AccountingViolations = %d, want 1", got)
+	}
+	clean := map[core.Arch]*core.RunResult{
+		core.SharedMem: fakeRun(core.SharedMem, 1000, []cpu.StallStats{good}),
+	}
+	if got := BuildFigure("clean", "fake", core.ModelMipsy, clean).AccountingViolations(); got != 0 {
+		t.Errorf("clean figure AccountingViolations = %d, want 0", got)
 	}
 }
