@@ -48,9 +48,10 @@ race-smoke:
 	$(GO) run -race ./cmd/cmpsim -workload eqntott -quick -sanitize -jobs 4
 
 # bench-trace proves the disabled-instrumentation acceptance bar:
-# BenchmarkTracerDisabled must report 0 allocs/op.
+# BenchmarkTracerDisabled and BenchmarkProfDisabled must report
+# 0 allocs/op (CI greps the output for exactly that).
 bench-trace:
-	$(GO) test -run '^$$' -bench 'BenchmarkTracer' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkTracer|BenchmarkProf' -benchmem .
 
 clean:
 	$(GO) clean ./...

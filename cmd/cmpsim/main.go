@@ -28,10 +28,22 @@ import (
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/obsv"
+	"cmpsim/internal/prof"
 	"cmpsim/internal/runner"
 	"cmpsim/internal/stats"
 	"cmpsim/internal/workload"
 )
+
+// splicePath inserts arch before the extension when several
+// architectures run in one invocation, so per-run sink files never
+// collide ("prof.json" → "prof.shared-mem.json").
+func splicePath(path, arch string, multi bool) string {
+	if !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return path[:len(path)-len(ext)] + "." + arch + ext
+}
 
 // writeTraces flushes one run's ring to the requested sink files. When
 // several architectures run in one invocation, each run gets its own
@@ -43,10 +55,7 @@ func writeTraces(ring *obsv.Ring, chromePath, jsonlPath, arch string, multi bool
 		if path == "" {
 			return nil
 		}
-		if multi {
-			ext := filepath.Ext(path)
-			path = path[:len(path)-len(ext)] + "." + arch + ext
-		}
+		path = splicePath(path, arch, multi)
 		f, err := os.Create(path)
 		if err != nil {
 			return err
@@ -98,6 +107,11 @@ func main() {
 
 		jobs     = flag.Int("jobs", 0, "max concurrent architecture runs (0 = GOMAXPROCS); output is identical for any value")
 		cacheDir = flag.String("cache-dir", "", "memoize run results as JSON under this directory (\"\" = off)")
+		progress = flag.Bool("progress", false, "print per-job completion lines (wall time, cache status) on stderr; stdout is unaffected")
+
+		profFlag = flag.Bool("prof", false, "collect a guest cycle-attribution profile and print hot functions/PCs and the line-sharing heatmap")
+		profOut  = flag.String("prof-out", "", "write the profile as JSON (cmd/simprof -in reads it) to this file")
+		profTop  = flag.Int("prof-top", 15, "rows per profile report table")
 
 		sanitize = flag.Bool("sanitize", false, "validate coherence/cycle invariants on every transaction (panics with an event trail on violation)")
 
@@ -136,6 +150,9 @@ func main() {
 	}
 
 	pool := &runner.Pool{Workers: *jobs}
+	if *progress {
+		pool.Progress = os.Stderr
+	}
 	if *cacheDir != "" {
 		cache, err := runner.OpenCache(*cacheDir)
 		if err != nil {
@@ -176,6 +193,9 @@ func main() {
 		acfg.Trace = obsv.Tee(tracers...)
 		if *metricsIvl > 0 {
 			acfg.Metrics = obsv.NewMetrics(*metricsIvl)
+		}
+		if *profFlag || *profOut != "" {
+			acfg.Prof = prof.New(acfg.NumCPUs, acfg.LineBytes)
 		}
 		name := *wlName
 		q := *quick
@@ -228,6 +248,27 @@ func main() {
 		}
 		if res.Metrics != nil {
 			fmt.Printf("--- %s: interval metrics ---\n%s", a, res.Metrics.String())
+		}
+		if p := res.Profile; p != nil {
+			p.Workload = *wlName
+			if *profFlag {
+				p.WriteReport(os.Stdout, *profTop)
+			}
+			if *profOut != "" {
+				path := splicePath(*profOut, string(a), len(arches) > 1)
+				f, err := os.Create(path)
+				if err == nil {
+					err = p.WriteJSON(f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "cmpsim:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote profile to %s\n", path)
+			}
 		}
 	}
 

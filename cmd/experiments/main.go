@@ -33,6 +33,7 @@ import (
 	"cmpsim/internal/isa"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/obsv"
+	"cmpsim/internal/prof"
 	"cmpsim/internal/runner"
 	"cmpsim/internal/stats"
 	"cmpsim/internal/workload"
@@ -46,6 +47,7 @@ type obsvOpts struct {
 	jsonl    string
 	bufSize  int
 	interval uint64
+	profOut  string
 }
 
 var obsvFlags obsvOpts
@@ -102,6 +104,9 @@ func (g *grid) addJob(wlName string, quick bool, arch core.Arch, model core.CPUM
 	if obsvFlags.interval > 0 {
 		job.Cfg.Metrics = obsv.NewMetrics(obsvFlags.interval)
 	}
+	if obsvFlags.profOut != "" {
+		job.Cfg.Prof = prof.New(job.Cfg.NumCPUs, job.Cfg.LineBytes)
+	}
 	g.jobs = append(g.jobs, job)
 	g.rings = append(g.rings, ring)
 	return len(g.jobs) - 1
@@ -126,6 +131,8 @@ func main() {
 	flag.StringVar(&obsvFlags.jsonl, "trace-out", "", "write per-run JSONL traces (cmd/tracestats input)")
 	flag.IntVar(&obsvFlags.bufSize, "trace-buf", 1<<20, "trace ring-buffer capacity in events")
 	flag.Uint64Var(&obsvFlags.interval, "metrics-interval", 0, "sample interval metrics every N cycles (0 = off)")
+	flag.StringVar(&obsvFlags.profOut, "prof-out", "", "write per-run cycle-attribution profiles as JSON (cmd/simprof -in); the run tag is spliced into this filename")
+	progress := flag.Bool("progress", false, "print per-job completion lines (wall time, cache status) on stderr; stdout is unaffected")
 	flag.Parse()
 
 	start := time.Now()
@@ -133,6 +140,9 @@ func main() {
 	table2()
 
 	pool := &runner.Pool{Workers: *jobs}
+	if *progress {
+		pool.Progress = os.Stderr
+	}
 	if *cacheDir != "" {
 		cache, err := runner.OpenCache(*cacheDir)
 		if err != nil {
@@ -202,6 +212,7 @@ func main() {
 		res := r.Res
 		fmt.Printf("  L2 %d-way: cycles=%-10d L2 miss rate=%5.1f%%  L1R=%5.1f%%\n",
 			assoc, res.Cycles, 100*res.MemReport.L2.MissRate(), 100*res.MemReport.L1D.ReplRate())
+		dumpProfile(res.Profile, "mp3d", g.jobs[ablationIdx[i]].Tag)
 	}
 	fmt.Println()
 
@@ -363,6 +374,28 @@ func dumpTrace(ring *obsv.Ring, tag string) {
 	}
 }
 
+// dumpProfile writes one job's cycle-attribution profile to that job's
+// -prof-out file (tag spliced in). No-op when the run carried no
+// profiler.
+func dumpProfile(p *prof.Profile, wlName, tag string) {
+	if p == nil {
+		return
+	}
+	p.Workload = wlName
+	path := splice(obsvFlags.profOut, tag)
+	f, err := os.Create(path)
+	if err == nil {
+		err = p.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fatalf("%s: write profile: %v", tag, err)
+	}
+	fmt.Printf("  [prof] wrote %s\n", path)
+}
+
 // printFigure renders one figure from its per-architecture results:
 // trace dumps and metrics summaries first (in architecture order),
 // then the breakdown table, chart and any accounting violations. A
@@ -382,6 +415,7 @@ func printFigure(spec figureSpec, g *grid, results []runner.Result) []stats.IPCR
 		if ring := g.rings[idx]; ring != nil {
 			dumpTrace(ring, g.jobs[idx].Tag)
 		}
+		dumpProfile(res.Profile, wlName, g.jobs[idx].Tag)
 		if res.Metrics != nil {
 			samples := res.Metrics.Samples()
 			var peak float64

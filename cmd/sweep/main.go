@@ -68,6 +68,7 @@ func main() {
 	model := flag.String("model", "mipsy", "cpu model")
 	jobs := flag.Int("jobs", 0, "max concurrent sweep points (0 = GOMAXPROCS); output is identical for any value")
 	cacheDir := flag.String("cache-dir", "", "memoize sweep-point results as JSON under this directory (\"\" = off)")
+	progress := flag.Bool("progress", false, "print per-job completion lines (wall time, cache status) on stderr; stdout is unaffected")
 	list := flag.Bool("params", false, "list sweepable parameters")
 	flag.Parse()
 
@@ -93,6 +94,9 @@ func main() {
 	}
 
 	pool := &runner.Pool{Workers: *jobs}
+	if *progress {
+		pool.Progress = os.Stderr
+	}
 	if *cacheDir != "" {
 		cache, err := runner.OpenCache(*cacheDir)
 		if err != nil {

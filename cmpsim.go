@@ -28,6 +28,7 @@ import (
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/obsv"
+	"cmpsim/internal/prof"
 	"cmpsim/internal/runner"
 	"cmpsim/internal/stats"
 	"cmpsim/internal/workload"
@@ -202,3 +203,31 @@ type Sample = obsv.Sample
 
 // NewMetrics returns a collector sampling every interval cycles.
 func NewMetrics(interval uint64) *Metrics { return obsv.NewMetrics(interval) }
+
+// --- guest-level profiling (package prof) ---
+
+// Profiler is the guest-level cycle-attribution profiler: set
+// Config.Prof to a NewProfiler instance and the run charges every busy
+// and stall cycle to the guest PC responsible, and records per-cache-
+// line sharing behavior (misses, invalidations, cache-to-cache
+// transfers by writer→reader CPU pair). The disabled (nil) fast path
+// costs a single pointer check per site. A job carrying a profiler is
+// never served from the result cache.
+type Profiler = prof.Profiler
+
+// NewProfiler returns a profiler for a machine with numCPUs processors
+// and lineBytes-sized cache lines (pass Config.NumCPUs and
+// Config.LineBytes).
+func NewProfiler(numCPUs int, lineBytes uint32) *Profiler {
+	return prof.New(numCPUs, lineBytes)
+}
+
+// Profile is a completed run's profile snapshot (Result.Profile):
+// per-PC and per-function cycle attribution with per-level stall
+// splits, the cache-line sharing table with false-sharing candidates,
+// and the guest symbol table used for attribution. Render with
+// WriteReport / WriteFolded, or serialize with WriteJSON.
+type Profile = prof.Profile
+
+// ReadProfile deserializes a profile written by Profile.WriteJSON.
+func ReadProfile(r io.Reader) (*Profile, error) { return prof.ReadProfile(r) }

@@ -576,6 +576,52 @@ func (p *Program) Labels() []string {
 	return out
 }
 
+// Symbol is one resolved label with the address range it covers:
+// [Start, End) runs from the label to the next label in the same
+// section (or the section's end). Text labels cover code — function
+// entries and branch targets alike — and data labels cover variables
+// and arrays, so a profiler or disassembler can map any address back
+// to the nearest preceding label.
+type Symbol struct {
+	Name  string
+	Start uint32 // resolved byte address of the label
+	End   uint32 // first byte address past the symbol's range
+	Text  bool   // text-section label (code) vs data-section label
+}
+
+// Symbols returns the program's symbol table sorted by Start then
+// Name. Labels sharing an address (aliases) each get the full range
+// to the next distinct label address.
+func (p *Program) Symbols() []Symbol {
+	syms := make([]Symbol, 0, len(p.syms))
+	for name, addr := range p.syms {
+		text := addr >= p.TextBase && addr < p.TextEnd()
+		syms = append(syms, Symbol{Name: name, Start: addr, Text: text})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].Start != syms[j].Start {
+			return syms[i].Start < syms[j].Start
+		}
+		return syms[i].Name < syms[j].Name
+	})
+	// End of each symbol = next distinct label address in its section,
+	// else the section end.
+	for i := range syms {
+		end := p.DataEnd()
+		if syms[i].Text {
+			end = p.TextEnd()
+		}
+		for j := i + 1; j < len(syms); j++ {
+			if syms[j].Text == syms[i].Text && syms[j].Start > syms[i].Start {
+				end = syms[j].Start
+				break
+			}
+		}
+		syms[i].End = end
+	}
+	return syms
+}
+
 // Listing renders the text section as an annotated disassembly:
 // addresses, label definitions, and one instruction per line.
 func (p *Program) Listing() string {

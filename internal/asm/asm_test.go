@@ -261,3 +261,35 @@ func TestListingAnnotatesLabels(t *testing.T) {
 		t.Errorf("data label leaked into the text listing:\n%s", l2)
 	}
 }
+
+func TestSymbols(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.NOP()
+	b.Label("body")
+	b.Label("body2") // alias at the same address
+	b.NOP()
+	b.NOP()
+	b.HALT()
+	b.DataLabel("tbl")
+	b.Zero(8)
+	b.DataLabel("end")
+	b.Word32(7)
+	p := b.MustAssemble(0x1000, 0x2000)
+	syms := p.Symbols()
+	want := []Symbol{
+		{Name: "start", Start: 0x1000, End: 0x1004, Text: true},
+		{Name: "body", Start: 0x1004, End: 0x1010, Text: true},
+		{Name: "body2", Start: 0x1004, End: 0x1010, Text: true},
+		{Name: "tbl", Start: 0x2000, End: 0x2008, Text: false},
+		{Name: "end", Start: 0x2008, End: 0x200c, Text: false},
+	}
+	if len(syms) != len(want) {
+		t.Fatalf("Symbols() = %v, want %v", syms, want)
+	}
+	for i, w := range want {
+		if syms[i] != w {
+			t.Errorf("Symbols()[%d] = %v, want %v", i, syms[i], w)
+		}
+	}
+}

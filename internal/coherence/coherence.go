@@ -12,6 +12,7 @@ package coherence
 import (
 	"cmpsim/internal/cache"
 	"cmpsim/internal/obsv"
+	"cmpsim/internal/prof"
 )
 
 // Node is one CPU's private cache hierarchy in the snoopy system.
@@ -35,6 +36,7 @@ type Snoop struct {
 	nodes []Node
 	stats SnoopStats
 	trace obsv.Tracer
+	prof  *prof.Profiler
 }
 
 // NewSnoop builds a snooping domain over the given nodes.
@@ -49,11 +51,18 @@ func (s *Snoop) Stats() SnoopStats { return s.stats }
 // invalidation, upgrade and cache-to-cache events.
 func (s *Snoop) SetTracer(tr obsv.Tracer) { s.trace = tr }
 
+// SetProfiler attaches a line-sharing profiler; invalidations and
+// cache-to-cache transfers are then recorded per line with the
+// writer→reader CPU pair that caused them.
+func (s *Snoop) SetProfiler(p *prof.Profiler) { s.prof = p }
+
 // SnoopResult reports what a bus transaction found in remote caches.
 type SnoopResult struct {
 	RemoteDirty bool // a remote cache held the line Modified (it supplies the data)
 	RemoteCopy  bool // at least one remote cache held the line in any state
 	Invalidated int  // remote lines invalidated by this transaction
+
+	dirtyNode int // node that held the line Modified, -1 if none (profiling)
 }
 
 // Read handles a BusRd issued by cpu at cycle now after missing in its
@@ -62,7 +71,8 @@ type SnoopResult struct {
 // Exclusive.
 func (s *Snoop) Read(now uint64, cpu int, addr uint32) SnoopResult {
 	s.stats.ReadMissesSnooped++
-	var r SnoopResult
+	r := SnoopResult{dirtyNode: -1}
+	supplier := -1 // dirty owner if any, else the first node with a copy
 	for i := range s.nodes {
 		if i == cpu {
 			continue
@@ -70,14 +80,24 @@ func (s *Snoop) Read(now uint64, cpu int, addr uint32) SnoopResult {
 		n := s.nodes[i]
 		if ln := n.L2.Probe(addr); ln != nil {
 			r.RemoteCopy = true
+			if supplier < 0 {
+				supplier = i
+			}
 			if _, wasDirty := n.L2.Downgrade(addr); wasDirty {
 				r.RemoteDirty = true
+				r.dirtyNode = i
+				supplier = i
 			}
 		}
 		if ln := n.L1.Probe(addr); ln != nil {
 			r.RemoteCopy = true
+			if supplier < 0 {
+				supplier = i
+			}
 			if _, wasDirty := n.L1.Downgrade(addr); wasDirty {
 				r.RemoteDirty = true
+				r.dirtyNode = i
+				supplier = i
 			}
 		}
 	}
@@ -85,6 +105,9 @@ func (s *Snoop) Read(now uint64, cpu int, addr uint32) SnoopResult {
 		s.stats.CacheToCache++
 		if s.trace != nil {
 			s.trace.Emit(obsv.Event{Cycle: now, Addr: addr, Kind: obsv.EvC2C, CPU: int8(cpu)})
+		}
+		if s.prof != nil && supplier >= 0 {
+			s.prof.LineC2C(supplier, cpu, addr)
 		}
 	}
 	return r
@@ -99,6 +122,9 @@ func (s *Snoop) Write(now uint64, cpu int, addr uint32) SnoopResult {
 		s.stats.CacheToCache++
 		if s.trace != nil {
 			s.trace.Emit(obsv.Event{Cycle: now, Addr: addr, Kind: obsv.EvC2C, CPU: int8(cpu)})
+		}
+		if s.prof != nil && r.dirtyNode >= 0 {
+			s.prof.LineC2C(r.dirtyNode, cpu, addr)
 		}
 	}
 	return r
@@ -117,25 +143,33 @@ func (s *Snoop) Upgrade(now uint64, cpu int, addr uint32) SnoopResult {
 }
 
 func (s *Snoop) invalidateRemote(now uint64, cpu int, addr uint32) SnoopResult {
-	var r SnoopResult
+	r := SnoopResult{dirtyNode: -1}
 	for i := range s.nodes {
 		if i == cpu {
 			continue
 		}
 		n := s.nodes[i]
+		nodeHit := false
 		if present, dirty := n.L2.Invalidate(addr); present {
 			r.RemoteCopy = true
 			r.Invalidated++
+			nodeHit = true
 			if dirty {
 				r.RemoteDirty = true
+				r.dirtyNode = i
 			}
 		}
 		if present, dirty := n.L1.Invalidate(addr); present {
 			r.RemoteCopy = true
 			r.Invalidated++
+			nodeHit = true
 			if dirty {
 				r.RemoteDirty = true
+				r.dirtyNode = i
 			}
+		}
+		if nodeHit && s.prof != nil {
+			s.prof.LineInval(cpu, i, addr)
 		}
 	}
 	s.stats.InvalidationsSent += uint64(r.Invalidated)
@@ -163,6 +197,7 @@ type Directory struct {
 	sharers map[uint32]uint16 // line address -> CPU bitmask
 	stats   DirStats
 	trace   obsv.Tracer
+	prof    *prof.Profiler
 }
 
 // NewDirectory builds a directory over the write-through L1 caches.
@@ -176,6 +211,12 @@ func (d *Directory) Stats() DirStats { return d.stats }
 // SetTracer attaches a tracer; invalidations and inclusion evictions
 // then emit events.
 func (d *Directory) SetTracer(tr obsv.Tracer) { d.trace = tr }
+
+// SetProfiler attaches a line-sharing profiler; write-through
+// invalidations are then recorded per line with the writer→reader CPU
+// pair. Inclusion evictions are not recorded — they are a capacity
+// effect, not sharing.
+func (d *Directory) SetProfiler(p *prof.Profiler) { d.prof = p }
 
 // Sharers returns the current sharer bitmask of a line.
 func (d *Directory) Sharers(lineAddr uint32) uint16 { return d.sharers[lineAddr] }
@@ -211,6 +252,9 @@ func (d *Directory) Write(now uint64, lineAddr uint32, cpu int) int {
 		}
 		if present, _ := d.l1s[i].Invalidate(lineAddr); present {
 			inv++
+			if d.prof != nil {
+				d.prof.LineInval(cpu, i, lineAddr)
+			}
 		}
 	}
 	// Only the writer (if it held the line) remains a sharer.

@@ -19,6 +19,7 @@ import (
 	"cmpsim/internal/mem"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/obsv"
+	"cmpsim/internal/prof"
 )
 
 // Arch identifies one of the three architecture compositions.
@@ -58,9 +59,10 @@ type Core interface {
 
 // codeEntry is one loaded program's decoded text.
 type codeEntry struct {
-	base  uint32
-	end   uint32
-	insts []isa.Inst
+	base   uint32
+	end    uint32
+	insts  []isa.Inst
+	labels map[uint32][]string // physical address → text labels, for Dump
 }
 
 // CodeRegistry resolves physical addresses to decoded instructions over
@@ -74,9 +76,15 @@ type CodeRegistry struct {
 // Register adds p's text, relocated by physBias, to the registry.
 func (r *CodeRegistry) Register(p *asm.Program, physBias uint32) {
 	e := codeEntry{
-		base:  physBias + p.TextBase,
-		end:   physBias + p.TextEnd(),
-		insts: p.Insts,
+		base:   physBias + p.TextBase,
+		end:    physBias + p.TextEnd(),
+		insts:  p.Insts,
+		labels: make(map[uint32][]string),
+	}
+	for _, s := range p.Symbols() {
+		if s.Text {
+			e.labels[physBias+s.Start] = append(e.labels[physBias+s.Start], s.Name)
+		}
 	}
 	r.entries = append(r.entries, e)
 	sort.Slice(r.entries, func(i, j int) bool { return r.entries[i].base < r.entries[j].base })
@@ -84,12 +92,17 @@ func (r *CodeRegistry) Register(p *asm.Program, physBias uint32) {
 }
 
 // Dump writes a disassembly listing of every registered program region
-// to w: one line per instruction with its physical address.
+// to w: one line per instruction with its physical address, annotated
+// with the assembler's function and branch-target labels.
 func (r *CodeRegistry) Dump(w io.Writer) {
 	for _, e := range r.entries {
 		fmt.Fprintf(w, "; region %#08x..%#08x (%d instructions)\n", e.base, e.end, len(e.insts))
 		for i, in := range e.insts {
-			fmt.Fprintf(w, "%08x:  %s\n", e.base+uint32(4*i), in)
+			addr := e.base + uint32(4*i)
+			for _, l := range e.labels[addr] {
+				fmt.Fprintf(w, "%s:\n", l)
+			}
+			fmt.Fprintf(w, "%08x:  %s\n", addr, in)
 		}
 	}
 }
@@ -135,6 +148,12 @@ type Machine struct {
 	// uses it for preemption timers.
 	Events event.Queue
 	irq    []bool
+
+	// syms is the machine-wide physical-address symbol table, collected
+	// from every loaded program (relocated by its load bias) so a
+	// profile snapshot can resolve physical PCs and data addresses back
+	// to assembler labels.
+	syms []prof.Symbol
 
 	// NewCore builds a CPU for the machine; set by the model selection in
 	// NewMachine and used by AddContext.
@@ -182,7 +201,11 @@ func NewMachine(a Arch, model CPUModel, cfg memsys.Config, memBytes uint32) (*Ma
 	switch model {
 	case ModelMipsy:
 		m.newCore = func(id int, ctx *cpu.Context) Core {
-			return mipsy.New(id, ctx, m.Sys, m.Code, m.Trap, m.Img, cfg.LineBytes)
+			c := mipsy.New(id, ctx, m.Sys, m.Code, m.Trap, m.Img, cfg.LineBytes)
+			if cfg.Prof != nil {
+				c.SetProfiler(cfg.Prof)
+			}
+			return c
 		}
 	case ModelMXS:
 		if newMXSCore == nil {
@@ -225,6 +248,7 @@ func (m *Machine) SetSharedData(f func(addr uint32) bool) {
 func (m *Machine) LoadProgram(p *asm.Program, physBias uint32) {
 	p.Load(m.Img, physBias)
 	m.Code.Register(p, physBias)
+	m.addSymbols(p, physBias, true)
 }
 
 // LoadText loads and registers only p's text at physBias — for programs
@@ -233,6 +257,31 @@ func (m *Machine) LoadProgram(p *asm.Program, physBias uint32) {
 func (m *Machine) LoadText(p *asm.Program, physBias uint32) {
 	p.LoadText(m.Img, physBias)
 	m.Code.Register(p, physBias)
+	m.addSymbols(p, physBias, false)
+}
+
+// addSymbols merges p's symbol table, relocated by physBias, into the
+// machine-wide table. Data symbols are skipped when the data section
+// was not loaded at physBias (LoadText: each process places its data
+// elsewhere, so the biased addresses would be wrong).
+func (m *Machine) addSymbols(p *asm.Program, physBias uint32, withData bool) {
+	for _, s := range p.Symbols() {
+		if !s.Text && !withData {
+			continue
+		}
+		m.syms = append(m.syms, prof.Symbol{
+			Name:  s.Name,
+			Start: physBias + s.Start,
+			End:   physBias + s.End,
+			Text:  s.Text,
+		})
+	}
+	sort.SliceStable(m.syms, func(i, j int) bool {
+		if m.syms[i].Start != m.syms[j].Start {
+			return m.syms[i].Start < m.syms[j].Start
+		}
+		return m.syms[i].Name < m.syms[j].Name
+	})
 }
 
 // AddContext creates a CPU (with the machine's model) running ctx.
@@ -253,6 +302,7 @@ type RunResult struct {
 	PerCPU    []cpu.StallStats
 	MemReport memsys.Report
 	Metrics   *obsv.Metrics // interval time-series, when sampling was enabled
+	Profile   *prof.Profile `json:",omitempty"` // cycle attribution, when profiling was enabled
 }
 
 // Instructions returns total instructions executed across all CPUs.
@@ -347,6 +397,9 @@ func (m *Machine) Result(cycles uint64) *RunResult {
 	if mets := m.Cfg.Metrics; mets != nil {
 		mets.Flush(m.probe(cycles))
 		res.Metrics = mets
+	}
+	if pf := m.Cfg.Prof; pf != nil {
+		res.Profile = pf.Snapshot(string(m.Arch), string(m.Model), m.syms)
 	}
 	if chk := m.Cfg.Check; chk != nil {
 		// MSHR leak check, after the metrics flush so the probe above saw

@@ -12,6 +12,9 @@ func init() {
 		if cfg.Trace != nil {
 			c.SetTracer(cfg.Trace)
 		}
+		if cfg.Prof != nil {
+			c.SetProfiler(cfg.Prof)
+		}
 		return c
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"cmpsim/internal/isa"
 	"cmpsim/internal/mem"
 	"cmpsim/internal/memsys"
+	"cmpsim/internal/prof"
 )
 
 const invalidLine = ^uint32(0)
@@ -31,11 +32,18 @@ type CPU struct {
 	irq cpu.InterruptSource
 
 	stats cpu.StallStats
+	prof  *prof.Profiler
 }
 
 // SetInterruptSource attaches an external interrupt line, polled between
 // instructions.
 func (c *CPU) SetInterruptSource(src cpu.InterruptSource) { c.irq = src }
+
+// SetProfiler attaches a cycle-attribution profiler: every retired
+// instruction and stall cycle is charged to its physical PC, in
+// lockstep with the StallStats counters. nil (the default) keeps the
+// hook sites on their zero-cost path.
+func (c *CPU) SetProfiler(p *prof.Profiler) { c.prof = p }
 
 // New builds a Mipsy CPU with hardware id id executing ctx.
 func New(id int, ctx *cpu.Context, sys memsys.System, code cpu.CodeSource, trap cpu.TrapHandler, img *mem.Image, lineBytes uint32) *CPU {
@@ -96,6 +104,9 @@ func (c *CPU) Tick(now uint64) {
 		c.fetchLine = ppc & c.lineMask
 		if r.Done > cur+1 {
 			c.stats.IStall[r.Level] += r.Done - (cur + 1)
+			if c.prof != nil {
+				c.prof.IStallPC(ppc, uint8(r.Level), r.Done-(cur+1))
+			}
 			cur = r.Done - 1 //simlint:allow cycleflow — r.Done > cur+1 here, so r.Done >= 2
 		}
 	}
@@ -106,19 +117,19 @@ func (c *CPU) Tick(now uint64) {
 		return
 	}
 
-	c.execute(cur, in)
+	c.execute(cur, ppc, in)
 }
 
-// execute runs one instruction whose execution cycle is cur. It sets
-// ctx.PC and c.nextFree.
-func (c *CPU) execute(cur uint64, in isa.Inst) {
+// execute runs one instruction whose execution cycle is cur (physical
+// PC ppc, for profiling). It sets ctx.PC and c.nextFree.
+func (c *CPU) execute(cur uint64, ppc uint32, in isa.Inst) {
 	ctx := c.ctx
 	next := ctx.PC + 4
 	done := cur + 1
 
 	switch {
 	case in.Op.IsMem():
-		if !c.executeMem(cur, in, &done) {
+		if !c.executeMem(cur, ppc, in, &done) {
 			return // structural stall or fault; retry or stop
 		}
 	case in.Op.IsBranch():
@@ -139,6 +150,9 @@ func (c *CPU) execute(cur uint64, in isa.Inst) {
 	case in.Op == isa.HALT:
 		ctx.Halted = true
 		c.stats.Instructions++
+		if c.prof != nil {
+			c.prof.RetirePC(ppc)
+		}
 		return
 	case in.Op == isa.CPUID:
 		c.setReg(in.R1, uint32(c.id))
@@ -147,6 +161,9 @@ func (c *CPU) execute(cur uint64, in isa.Inst) {
 		extra := c.trap.Syscall(cur, c.id, ctx, in.Imm)
 		c.fetchLine = invalidLine // the handler may have switched spaces
 		c.stats.Instructions++
+		if c.prof != nil {
+			c.prof.RetirePC(ppc)
+		}
 		c.nextFree = done + extra
 		return
 	case in.Op == isa.FMOV, in.Op == isa.FNEG:
@@ -172,6 +189,9 @@ func (c *CPU) execute(cur uint64, in isa.Inst) {
 
 	ctx.PC = next
 	c.stats.Instructions++
+	if c.prof != nil {
+		c.prof.RetirePC(ppc)
+	}
 	c.nextFree = done
 }
 
@@ -179,7 +199,7 @@ func (c *CPU) execute(cur uint64, in isa.Inst) {
 // instruction could not complete this cycle (structural refusal or
 // fault); on refusal the PC is left unchanged so the instruction
 // retries.
-func (c *CPU) executeMem(cur uint64, in isa.Inst, done *uint64) bool {
+func (c *CPU) executeMem(cur uint64, ppc uint32, in isa.Inst, done *uint64) bool {
 	ctx := c.ctx
 	ea := ctx.Regs[in.R2] + uint32(in.Imm)
 	pea, ok := ctx.Space.Translate(ea)
@@ -194,6 +214,9 @@ func (c *CPU) executeMem(cur uint64, in isa.Inst, done *uint64) bool {
 		c.setReg(in.R1, 0)
 		ctx.PC += 4
 		c.stats.Instructions++
+		if c.prof != nil {
+			c.prof.RetirePC(ppc)
+		}
 		c.nextFree = cur + 1
 		return false // PC already advanced; skip the caller's epilogue
 	}
@@ -203,6 +226,9 @@ func (c *CPU) executeMem(cur uint64, in isa.Inst, done *uint64) bool {
 	if !accepted {
 		// MSHRs or write buffer full: stall one cycle and retry.
 		c.stats.DStall[res.Level]++
+		if c.prof != nil {
+			c.prof.DStallPC(ppc, uint8(res.Level), 1)
+		}
 		c.nextFree = cur + 1
 		return false
 	}
@@ -230,6 +256,9 @@ func (c *CPU) executeMem(cur uint64, in isa.Inst, done *uint64) bool {
 
 	if res.Done > cur+1 {
 		c.stats.DStall[res.Level] += res.Done - (cur + 1)
+		if c.prof != nil {
+			c.prof.DStallPC(ppc, uint8(res.Level), res.Done-(cur+1))
+		}
 		*done = res.Done
 	}
 	return true

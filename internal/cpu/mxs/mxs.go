@@ -18,6 +18,7 @@ import (
 	"cmpsim/internal/mem"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/obsv"
+	"cmpsim/internal/prof"
 )
 
 const (
@@ -33,6 +34,7 @@ const (
 // fetchEntry is one fetched, predicted instruction.
 type fetchEntry struct {
 	pc        uint32 // virtual PC
+	ppc       uint32 // physical PC (profiling attribution)
 	inst      isa.Inst
 	predNext  uint32 // predicted next PC after this instruction
 	predTaken bool
@@ -43,6 +45,7 @@ type robEntry struct {
 	valid bool
 	inst  isa.Inst
 	pc    uint32
+	ppc   uint32 // physical PC (profiling attribution)
 
 	dispatched bool
 	issued     bool
@@ -115,7 +118,8 @@ type CPU struct {
 	irq     cpu.InterruptSource
 	irqStop bool // draining the pipeline to take an interrupt
 
-	tr    obsv.Tracer // optional event tracer; nil means disabled
+	tr    obsv.Tracer    // optional event tracer; nil means disabled
+	prof  *prof.Profiler // optional cycle-attribution profiler; nil means disabled
 	stats cpu.StallStats
 }
 
@@ -127,6 +131,12 @@ func (c *CPU) SetInterruptSource(src cpu.InterruptSource) { c.irq = src }
 // SetTracer attaches an event tracer; pipeline flushes, branch
 // mispredictions and window-full dispatch stalls then emit events.
 func (c *CPU) SetTracer(tr obsv.Tracer) { c.tr = tr }
+
+// SetProfiler attaches a cycle-attribution profiler: retired
+// instructions and blamed stall cycles are charged to physical PCs,
+// in lockstep with the StallStats counters. nil (the default) keeps
+// the hook sites on their zero-cost path.
+func (c *CPU) SetProfiler(p *prof.Profiler) { c.prof = p }
 
 // New builds an MXS core with hardware id executing ctx.
 func New(id int, ctx *cpu.Context, sys memsys.System, code cpu.CodeSource, trap cpu.TrapHandler, img *mem.Image, lineBytes uint32) *CPU {
@@ -257,6 +267,9 @@ func (c *CPU) commit(e *robEntry) {
 	c.writeDest(e)
 	c.ctx.PC = e.actualNext
 	c.stats.Instructions++
+	if c.prof != nil {
+		c.prof.RetirePC(e.ppc)
+	}
 	c.release()
 }
 
@@ -338,12 +351,18 @@ func (c *CPU) serialize(now uint64, e *robEntry) bool {
 	switch e.inst.Op {
 	case isa.HALT:
 		c.stats.Instructions++
+		if c.prof != nil {
+			c.prof.RetirePC(e.ppc)
+		}
 		c.ctx.Halted = true
 		return false
 	case isa.SYSCALL:
 		c.ctx.PC = e.pc + 4
 		extra := c.trap.Syscall(now, c.id, c.ctx, e.inst.Imm)
 		c.stats.Instructions++
+		if c.prof != nil {
+			c.prof.RetirePC(e.ppc)
+		}
 		c.flushAll(now)
 		c.fetchPC = c.ctx.PC
 		c.fetchReady = now + 1 + extra
@@ -725,6 +744,7 @@ func (c *CPU) dispatch(now uint64) {
 			valid:      true,
 			inst:       fe.inst,
 			pc:         fe.pc,
+			ppc:        fe.ppc,
 			dispatched: true,
 			predNext:   fe.predNext,
 			actualNext: fe.predNext,
@@ -777,7 +797,7 @@ func (c *CPU) fetch(now uint64) {
 			c.fetchFault = true
 			return
 		}
-		fe := fetchEntry{pc: pc, inst: in}
+		fe := fetchEntry{pc: pc, ppc: ppc, inst: in}
 		fe.predNext = c.predict(pc, in)
 		//simlint:allow hotalloc — fetch queue reuses its backing array at steady state
 		c.fq = append(c.fq, fe)
@@ -814,6 +834,13 @@ func (c *CPU) predict(pc uint32, in isa.Inst) uint32 {
 func (c *CPU) blame(now uint64) {
 	if c.count == 0 {
 		c.stats.IStall[c.fetchLvl]++
+		if c.prof != nil {
+			// Charge the PC the front end is trying to fetch; Translate
+			// is pure, and only paid when profiling is on.
+			if ppc, ok := c.ctx.Space.Translate(c.fetchPC); ok {
+				c.prof.IStallPC(ppc, uint8(c.fetchLvl), 1)
+			}
+		}
 		return
 	}
 	e := &c.rob[c.head]
@@ -822,12 +849,24 @@ func (c *CPU) blame(now uint64) {
 	case e.issued && !e.fwd && op.IsLoad() && (!e.done || e.doneAt > now):
 		if e.memLevel == memsys.LvlL1 {
 			c.stats.PipeStall++ // extra hit latency / bank contention
+			if c.prof != nil {
+				c.prof.PipeStallPC(e.ppc, 1)
+			}
 		} else {
 			c.stats.DStall[e.memLevel]++
+			if c.prof != nil {
+				c.prof.DStallPC(e.ppc, uint8(e.memLevel), 1)
+			}
 		}
 	case op.IsStore() && e.done && e.doneAt <= now:
 		c.stats.DStall[memsys.LvlL2]++ // write buffer backpressure
+		if c.prof != nil {
+			c.prof.DStallPC(e.ppc, uint8(memsys.LvlL2), 1)
+		}
 	default:
 		c.stats.PipeStall++
+		if c.prof != nil {
+			c.prof.PipeStallPC(e.ppc, 1)
+		}
 	}
 }

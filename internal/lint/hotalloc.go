@@ -19,9 +19,10 @@ import (
 // allocation-creating expressions (append, make, new, &CompositeLit)
 // and any fmt call, unless the expression is behind a tracer guard —
 // an enclosing `if x != nil` (or an earlier `if x == nil { return }`)
-// where x is a tracer or metrics sink (its type has an Emit, Observe
-// or ObserveAccess method). Guarded code only runs when the user asked
-// for tracing, where allocation is acceptable.
+// where x is a tracer, metrics or profiler sink (its type has an Emit,
+// Observe, ObserveAccess, RetirePC or LineAccess method). Guarded code
+// only runs when the user asked for tracing or profiling, where
+// allocation is acceptable.
 //
 // Deliberate allocations (e.g. compacting into a reused backing array)
 // are suppressed with //simlint:allow hotalloc.
@@ -31,13 +32,16 @@ var HotallocAnalyzer = &Analyzer{
 	Scope: scopeUnder(
 		"internal/cache", "internal/coherence", "internal/core",
 		"internal/cpu", "internal/memsys", "internal/interconnect",
-		"internal/event", "internal/obsv",
+		"internal/event", "internal/obsv", "internal/prof",
 	),
 	Run: runHotalloc,
 }
 
-// sinkMethods identify a tracer/metrics sink by duck typing.
-var sinkMethods = []string{"Emit", "Observe", "ObserveAccess"}
+// sinkMethods identify a tracer/metrics/profiler sink by duck typing.
+// RetirePC and LineAccess are the profiler's per-retire and per-access
+// hooks (internal/prof); a `if prof != nil` guard around them marks the
+// instrumented slow path just like a tracer guard does.
+var sinkMethods = []string{"Emit", "Observe", "ObserveAccess", "RetirePC", "LineAccess"}
 
 func isHotFunc(fn ast.Node) bool {
 	if hasNowParam(fn) {

@@ -50,3 +50,26 @@ func (u *unit) deliberate(now uint64) {
 	//simlint:allow hotalloc — fixture: suppression must silence the next line
 	u.buf = append(u.buf, now)
 }
+
+// profiler mimics internal/prof: its hook methods make it a sink, so a
+// `!= nil` guard around it marks the instrumented slow path.
+type profiler struct {
+	pcs map[uint32]uint64
+}
+
+func (p *profiler) RetirePC(ppc uint32)                              { p.pcs[ppc]++ }
+func (p *profiler) LineAccess(cpu int, addr uint32, w bool, l uint8) { p.pcs[addr]++ }
+
+type profUnit struct {
+	prof *profiler
+	buf  []uint64
+}
+
+func (u *profUnit) step(now uint64) {
+	if u.prof != nil {
+		u.prof.pcs = make(map[uint32]uint64) // ok: only runs when profiling
+		u.prof.RetirePC(uint32(now))
+	}
+
+	u.buf = append(u.buf, now) // want "append allocates"
+}

@@ -17,6 +17,7 @@ import (
 	"cmpsim/internal/coherence"
 	"cmpsim/internal/interconnect"
 	"cmpsim/internal/obsv"
+	"cmpsim/internal/prof"
 )
 
 // Note on cycle arithmetic: latency computations in the compositions go
@@ -165,6 +166,15 @@ type Config struct {
 	// event trail. Tee the checker into Trace so the trail is populated.
 	// Opt-in (cmpsim -sanitize): it probes every cache on every access.
 	Check *check.Checker
+
+	// Prof, when non-nil, enables the guest-level cycle-attribution
+	// profiler (package prof): completed data accesses are charged to
+	// their cache line here, coherence invalidations and C2C transfers
+	// by the snoop/directory machinery, and retired instructions and
+	// stall cycles by the CPU models. Carried by pointer so every
+	// Config copy feeds one collector; like Trace, a non-nil profiler
+	// makes a runner job uncacheable.
+	Prof *prof.Profiler
 }
 
 // traceAccess reports one completed data access to the tracer and the
@@ -182,6 +192,9 @@ func (c *Config) traceAccess(now uint64, cpu int, addr uint32, write bool, lvl L
 	}
 	if c.Metrics != nil {
 		c.Metrics.ObserveAccess(uint8(lvl), lat)
+	}
+	if c.Prof != nil {
+		c.Prof.LineAccess(cpu, addr, write, uint8(lvl))
 	}
 }
 

@@ -74,6 +74,9 @@ func NewSharedL2(cfg Config) *SharedL2 {
 		}
 		s.dir.SetTracer(cfg.Trace)
 	}
+	if cfg.Prof != nil {
+		s.dir.SetProfiler(cfg.Prof)
+	}
 	return s
 }
 

@@ -80,6 +80,9 @@ func NewSharedMem(cfg Config) *SharedMem {
 		}
 		s.snoop.SetTracer(cfg.Trace)
 	}
+	if cfg.Prof != nil {
+		s.snoop.SetProfiler(cfg.Prof)
+	}
 	if cfg.Check != nil {
 		s.chkNodes = make([]check.NodeState, n)
 	}

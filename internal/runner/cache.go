@@ -31,6 +31,7 @@ func Cacheable(job *Job) bool {
 		job.Cfg.Trace == nil &&
 		job.Cfg.Metrics == nil &&
 		job.Cfg.Check == nil &&
+		job.Cfg.Prof == nil &&
 		job.Cfg.SharedData == nil
 }
 
@@ -121,7 +122,8 @@ func (c *Cache) Get(key string) (*core.RunResult, bool, error) {
 // Put stores a result under key, atomically.
 func (c *Cache) Put(key string, res *core.RunResult) error {
 	saved := *res
-	saved.Metrics = nil // runtime attachment, never part of a cached result
+	saved.Metrics = nil // runtime attachments, never part of a cached result
+	saved.Profile = nil
 	data, err := json.MarshalIndent(entry{SimVersion: SimVersion, Result: &saved}, "", " ")
 	if err != nil {
 		return err

@@ -18,7 +18,10 @@ package runner
 
 import (
 	"fmt"
+	"io"
 	"runtime"
+	"sync"
+	"time"
 
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
@@ -75,6 +78,17 @@ type Pool struct {
 	// Cache, when non-nil, memoizes results keyed by the canonical hash
 	// of (sim version, workload key, arch, model, config fingerprint).
 	Cache *Cache
+
+	// Progress, when non-nil, receives one line per completed job —
+	// "[k/n] tag 1.234s" plus "(cached)" for cache hits and "(error)"
+	// for failures — in completion order, as jobs finish. Point it at
+	// stderr (the -progress flag of the cmd tools does) so stdout
+	// stays byte-identical to a progress-less run; the result slice
+	// itself is unaffected.
+	Progress io.Writer
+
+	mu   sync.Mutex // guards done (Progress lines from worker goroutines)
+	done int
 }
 
 // Run executes every job and returns their results in job order.
@@ -89,6 +103,9 @@ func (p *Pool) Run(jobs []Job) []Result {
 	if n == 0 {
 		return results
 	}
+	p.mu.Lock()
+	p.done = 0
+	p.mu.Unlock()
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -98,7 +115,7 @@ func (p *Pool) Run(jobs []Job) []Result {
 	}
 	if workers == 1 {
 		for i := range jobs {
-			results[i] = p.runJob(&jobs[i])
+			results[i] = p.runJob(n, &jobs[i])
 		}
 		return results
 	}
@@ -113,7 +130,7 @@ func (p *Pool) Run(jobs []Job) []Result {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range next {
-				out[i] <- p.runJob(&jobs[i])
+				out[i] <- p.runJob(n, &jobs[i])
 			}
 		}()
 	}
@@ -129,8 +146,29 @@ func (p *Pool) Run(jobs []Job) []Result {
 	return results
 }
 
-// runJob executes one job: cache probe, simulate on miss, fill.
-func (p *Pool) runJob(job *Job) Result {
+// runJob executes one job and reports its completion to Progress.
+func (p *Pool) runJob(total int, job *Job) Result {
+	start := time.Now()
+	res := p.execJob(job)
+	if p.Progress != nil {
+		status := ""
+		switch {
+		case res.Err != nil:
+			status = " (error)"
+		case res.Cached:
+			status = " (cached)"
+		}
+		p.mu.Lock()
+		p.done++
+		fmt.Fprintf(p.Progress, "[%d/%d] %s %s%s\n",
+			p.done, total, job.Tag, time.Since(start).Round(time.Millisecond), status)
+		p.mu.Unlock()
+	}
+	return res
+}
+
+// execJob executes one job: cache probe, simulate on miss, fill.
+func (p *Pool) execJob(job *Job) Result {
 	var key string
 	cacheable := p.Cache != nil && Cacheable(job)
 	if cacheable {

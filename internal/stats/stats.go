@@ -197,19 +197,68 @@ func (f Figure) Chart() string {
 	fmt.Fprintf(&sb, "%s — normalized execution time (|%s…| = shared-mem = 1.00)\n",
 		f.Name, strings.Repeat("-", 6))
 	for _, r := range f.Rows {
+		segs := [...]struct {
+			ch byte
+			v  float64
+		}{
+			{'c', r.Norm.CPU},
+			{'i', r.Norm.IStall},
+			{'1', r.Norm.DL1},
+			{'2', r.Norm.DL2},
+			{'m', r.Norm.DMem},
+			{'x', r.Norm.DC2C},
+		}
+		// Segment widths must sum to round(total*width): rounding each
+		// segment independently lets per-segment round-ups accumulate,
+		// so a bar whose components sum to exactly 1.0 could overflow
+		// the 60-column baseline. Largest-remainder apportionment keeps
+		// the total exact, then a second pass guarantees every nonzero
+		// component at least one visible column (stolen from the widest
+		// segment, never growing the bar).
+		var sum float64
+		for _, s := range segs {
+			sum += s.v
+		}
+		total := int(sum*width + 0.5)
+		var cols [len(segs)]int
+		alloc := 0
+		for i, s := range segs {
+			cols[i] = int(s.v * width)
+			alloc += cols[i]
+		}
+		for alloc < total {
+			best, bestFrac := -1, -1.0
+			for i, s := range segs {
+				frac := s.v*width - float64(cols[i])
+				if frac > bestFrac {
+					best, bestFrac = i, frac
+				}
+			}
+			cols[best]++
+			alloc++
+		}
+		for i, s := range segs {
+			if s.v <= 0 || cols[i] > 0 {
+				continue
+			}
+			widest, w := -1, 1
+			for j := range cols {
+				if cols[j] > w {
+					widest, w = j, cols[j]
+				}
+			}
+			if widest < 0 {
+				break // every segment is at width 1 already; nothing to steal
+			}
+			cols[widest]--
+			cols[i]++
+		}
 		bar := make([]byte, 0, width+16)
-		seg := func(ch byte, v float64) {
-			n := int(v*width + 0.5)
-			for i := 0; i < n; i++ {
-				bar = append(bar, ch)
+		for i, s := range segs {
+			for n := 0; n < cols[i]; n++ {
+				bar = append(bar, s.ch)
 			}
 		}
-		seg('c', r.Norm.CPU)
-		seg('i', r.Norm.IStall)
-		seg('1', r.Norm.DL1)
-		seg('2', r.Norm.DL2)
-		seg('m', r.Norm.DMem)
-		seg('x', r.Norm.DC2C)
 		fmt.Fprintf(&sb, "%-11s |%s| %.3f\n", r.Arch, string(bar), r.Norm.Total)
 	}
 	sb.WriteString("            c=cpu+sync i=ifetch 1=L1 2=L2 m=memory x=cache-to-cache\n")

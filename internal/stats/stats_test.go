@@ -105,6 +105,75 @@ func TestChartRendersBars(t *testing.T) {
 	}
 }
 
+// TestChartRoundingOverflowAndDrops pins the bar apportionment when
+// component rounding misbehaves: a row whose normalized components sum
+// past 1.0 (attributed stalls exceeding the baseline — the accounting-
+// violation shape) must not let per-segment round-ups pile past the
+// rounded bar total, and a tiny nonzero component must never vanish
+// from the bar.
+func TestChartRoundingOverflowAndDrops(t *testing.T) {
+	rows := []Row{
+		// Six components of 0.175: each would independently round 10.5
+		// up to 11 for a 66-column bar. The sum is 1.05, so the bar must
+		// be round(1.05*60) = 63 columns with all six fills present.
+		{Arch: core.SharedL1, Norm: Breakdown{
+			Total: 1.05, CPU: 0.175, IStall: 0.175,
+			DL1: 0.175, DL2: 0.175, DMem: 0.175, DC2C: 0.175,
+		}},
+		// Components summing to exactly 1.0 with half-up fractions: the
+		// bar must be exactly the 60-column baseline, not 63.
+		{Arch: core.SharedL2, Norm: Breakdown{
+			Total: 1.0, CPU: 0.175, IStall: 0.175,
+			DL1: 0.175, DL2: 0.175, DMem: 0.175, DC2C: 0.125,
+		}},
+		// A 0.005 component rounds to zero columns on its own; it must
+		// still get one visible column without growing the bar.
+		{Arch: core.SharedMem, Norm: Breakdown{
+			Total: 1.0, CPU: 0.995, DC2C: 0.005,
+		}},
+	}
+	fig := Figure{Name: "rounding", Rows: rows}
+	lines := strings.Split(strings.TrimRight(fig.Chart(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), fig.Chart())
+	}
+	bar := func(line string) string {
+		i, j := strings.Index(line, "|"), strings.LastIndex(line, "|")
+		if i < 0 || j <= i {
+			t.Fatalf("no bar in %q", line)
+		}
+		return line[i+1 : j]
+	}
+
+	over := bar(lines[1])
+	if len(over) != 63 {
+		t.Errorf("overflow bar is %d columns, want 63: %q", len(over), over)
+	}
+	for _, ch := range "ci12mx" {
+		if !strings.ContainsRune(over, ch) {
+			t.Errorf("overflow bar dropped segment %q: %q", ch, over)
+		}
+	}
+
+	exact := bar(lines[2])
+	if len(exact) != 60 {
+		t.Errorf("exact-1.0 bar is %d columns, want 60: %q", len(exact), exact)
+	}
+	for _, ch := range "ci12mx" {
+		if !strings.ContainsRune(exact, ch) {
+			t.Errorf("exact-1.0 bar dropped segment %q: %q", ch, exact)
+		}
+	}
+
+	tiny := bar(lines[3])
+	if len(tiny) != 60 {
+		t.Errorf("tiny-component bar is %d columns, want 60: %q", len(tiny), tiny)
+	}
+	if n := strings.Count(tiny, "x"); n != 1 {
+		t.Errorf("tiny component has %d columns, want exactly 1: %q", n, tiny)
+	}
+}
+
 func TestBuildFigureRequiresBaseline(t *testing.T) {
 	defer func() {
 		if recover() == nil {
