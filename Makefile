@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet lint test race smoke race-smoke bench-trace clean
+.PHONY: all build check vet lint test race smoke race-smoke bench bench-trace clean
 
 all: build
 
@@ -46,6 +46,14 @@ smoke:
 # real simulation, not just the unit tests.
 race-smoke:
 	$(GO) run -race ./cmd/cmpsim -workload eqntott -quick -sanitize -jobs 4
+
+# bench runs the figure-benchmark matrix (internal/benchfig) through
+# cmd/benchjson and writes BENCH_figures.json: ns/op and simulated
+# cycles/sec per figure, with and without the quiescence-skipping
+# scheduler, plus the skip speedup. CI uploads the file as an artifact
+# so every PR leaves a perf trajectory to regress against.
+bench:
+	$(GO) run ./cmd/benchjson
 
 # bench-trace proves the disabled-instrumentation acceptance bar:
 # BenchmarkTracerDisabled and BenchmarkProfDisabled must report

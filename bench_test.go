@@ -1,7 +1,8 @@
 // Benchmarks regenerating the paper's tables and figures. Each
-// BenchmarkFigureN runs the corresponding workload on all three
-// architectures and reports the normalized execution times (the heights
-// of the paper's bars) as custom metrics:
+// BenchmarkFigures sub-benchmark runs one workload of the shared
+// internal/benchfig matrix on all three architectures and reports the
+// normalized execution times (the heights of the paper's bars) as
+// custom metrics:
 //
 //	go test -bench=. -benchmem
 //
@@ -9,7 +10,9 @@
 // bench sweep stays in the minutes range; cmd/experiments runs the
 // paper-scale versions. Absolute cycle counts differ from the 1996
 // testbed by design — the shapes (who wins, by roughly what factor) are
-// the reproduction target.
+// the reproduction target. cmd/benchjson (make bench) measures the same
+// matrix with and without quiescence skipping and writes the
+// BENCH_figures.json perf baseline.
 package cmpsim_test
 
 import (
@@ -17,28 +20,26 @@ import (
 	"testing"
 
 	"cmpsim"
+	"cmpsim/internal/benchfig"
 	"cmpsim/internal/cpu"
 	"cmpsim/internal/isa"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/workload"
 )
 
-// runFigure runs mk() on the three architectures and reports each
-// architecture's normalized execution time as a metric.
-func runFigure(b *testing.B, mk func() cmpsim.Workload, model cmpsim.CPUModel, cfg *cmpsim.Config) {
+// runFigure runs one benchfig entry (the workload on all three
+// architectures) and reports each architecture's normalized execution
+// time as a metric.
+func runFigure(b *testing.B, f benchfig.Figure, cfg *cmpsim.Config) {
 	b.Helper()
 	var norm [3]float64
 	var ipc [3]float64
 	for i := 0; i < b.N; i++ {
-		runs := map[cmpsim.Arch]*cmpsim.Result{}
-		for _, a := range cmpsim.Architectures() {
-			res, err := cmpsim.RunWorkload(mk(), a, model, cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			runs[a] = res
+		runs, _, err := benchfig.Run(f, cfg)
+		if err != nil {
+			b.Fatal(err)
 		}
-		fig := cmpsim.BuildFigure("bench", "bench", model, runs)
+		fig := cmpsim.BuildFigure("bench", "bench", f.Model, runs)
 		for j, row := range fig.Rows {
 			norm[j] = row.Norm.Total
 			ipc[j] = row.IPC
@@ -47,7 +48,7 @@ func runFigure(b *testing.B, mk func() cmpsim.Workload, model cmpsim.CPUModel, c
 	b.ReportMetric(norm[0], "norm-sharedL1")
 	b.ReportMetric(norm[1], "norm-sharedL2")
 	b.ReportMetric(norm[2], "norm-sharedMem")
-	if model == cmpsim.ModelMXS {
+	if f.Model == cmpsim.ModelMXS {
 		b.ReportMetric(ipc[0]/4, "ipc/cpu-sharedL1")
 		b.ReportMetric(ipc[1]/4, "ipc/cpu-sharedL2")
 		b.ReportMetric(ipc[2]/4, "ipc/cpu-sharedMem")
@@ -88,48 +89,17 @@ func BenchmarkTable2_AccessLatencies(b *testing.B) {
 	b.ReportMetric(float64(mem), "sharedL2-mem-cycles")
 }
 
-// --- Figures 4-10 (Mipsy) ---
+// --- Figures 4-11 ---
 
-func BenchmarkFigure4_Eqntott(b *testing.B) {
-	runFigure(b, func() cmpsim.Workload {
-		return workload.NewEqntott(workload.EqntottParams{Words: 128, Iters: 40})
-	}, cmpsim.ModelMipsy, nil)
-}
-
-func BenchmarkFigure5_MP3D(b *testing.B) {
-	runFigure(b, func() cmpsim.Workload {
-		return workload.NewMP3D(workload.MP3DParams{Particles: 2048, Steps: 2})
-	}, cmpsim.ModelMipsy, nil)
-}
-
-func BenchmarkFigure6_Ocean(b *testing.B) {
-	runFigure(b, func() cmpsim.Workload {
-		return workload.NewOcean(workload.OceanParams{N: 66, FineIter: 2, CoarseIt: 2})
-	}, cmpsim.ModelMipsy, nil)
-}
-
-func BenchmarkFigure7_Volpack(b *testing.B) {
-	runFigure(b, func() cmpsim.Workload {
-		return workload.NewVolpack(workload.VolpackParams{Size: 32, Depth: 16})
-	}, cmpsim.ModelMipsy, nil)
-}
-
-func BenchmarkFigure8_Ear(b *testing.B) {
-	runFigure(b, func() cmpsim.Workload {
-		return workload.NewEar(workload.EarParams{Samples: 250})
-	}, cmpsim.ModelMipsy, nil)
-}
-
-func BenchmarkFigure9_FFT(b *testing.B) {
-	runFigure(b, func() cmpsim.Workload {
-		return workload.NewFFT(workload.FFTParams{N: 64, Batches: 8})
-	}, cmpsim.ModelMipsy, nil)
-}
-
-func BenchmarkFigure10_Pmake(b *testing.B) {
-	runFigure(b, func() cmpsim.Workload {
-		return workload.NewPmake(workload.PmakeParams{Procs: 6, Funcs: 32, Passes: 3})
-	}, cmpsim.ModelMipsy, nil)
+// BenchmarkFigures runs every entry of the shared benchfig matrix
+// (Figures 4-10 under Mipsy, Figure 11's applications under MXS) as a
+// sub-benchmark; cmd/benchjson measures the identical matrix skip vs.
+// -no-skip and writes BENCH_figures.json.
+func BenchmarkFigures(b *testing.B) {
+	for _, f := range benchfig.Figures() {
+		f := f
+		b.Run(f.Name, func(b *testing.B) { runFigure(b, f, nil) })
+	}
 }
 
 // --- Section 4.1 ablation ---
@@ -152,26 +122,6 @@ func BenchmarkAblation_MP3DL2Assoc(b *testing.B) {
 			b.ReportMetric(100*missRate, "L2-miss-%")
 		})
 	}
-}
-
-// --- Figure 11 (MXS) ---
-
-func BenchmarkFigure11_MXS_Pmake(b *testing.B) {
-	runFigure(b, func() cmpsim.Workload {
-		return workload.NewPmake(workload.PmakeParams{Procs: 6, Funcs: 32, Passes: 2})
-	}, cmpsim.ModelMXS, nil)
-}
-
-func BenchmarkFigure11_MXS_Eqntott(b *testing.B) {
-	runFigure(b, func() cmpsim.Workload {
-		return workload.NewEqntott(workload.EqntottParams{Words: 128, Iters: 30})
-	}, cmpsim.ModelMXS, nil)
-}
-
-func BenchmarkFigure11_MXS_Ear(b *testing.B) {
-	runFigure(b, func() cmpsim.Workload {
-		return workload.NewEar(workload.EarParams{Samples: 150})
-	}, cmpsim.ModelMXS, nil)
 }
 
 // --- Design-choice ablations (DESIGN.md section 5) ---

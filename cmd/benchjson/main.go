@@ -1,0 +1,149 @@
+// Command benchjson establishes the simulator's performance baseline:
+// it measures every figure benchmark of the shared internal/benchfig
+// matrix twice — once with the quiescence-skipping scheduler (the
+// default) and once with Config.NoSkip (the cmpsim -no-skip reference
+// loop) — via testing.Benchmark, and writes the results to
+// BENCH_figures.json: ns/op, simulated-cycles-per-second and the
+// skip-vs-no-skip speedup per figure. CI uploads the file as an
+// artifact so future PRs have a perf trajectory to regress against.
+//
+//	benchjson                         # all figures -> BENCH_figures.json
+//	benchjson -figures 'MP3D|Ocean'   # subset, same file
+//	benchjson -out /dev/stdout        # print instead of writing
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"cmpsim/internal/benchfig"
+)
+
+// figureRow is one figure's measurements. Simulated cycle counts are
+// identical with and without skipping (the scheduler is observably
+// invisible; see skip_test.go), so one sim_cycles_per_op field serves
+// both throughput numbers.
+type figureRow struct {
+	Name                string  `json:"name"`
+	Model               string  `json:"model"`
+	SimCyclesPerOp      uint64  `json:"sim_cycles_per_op"`
+	SkipNsPerOp         int64   `json:"skip_ns_per_op"`
+	SkipSimCyclesPerS   float64 `json:"skip_sim_cycles_per_sec"`
+	NoSkipNsPerOp       int64   `json:"noskip_ns_per_op"`
+	NoSkipSimCyclesPerS float64 `json:"noskip_sim_cycles_per_sec"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// report is the BENCH_figures.json schema. No timestamp on purpose:
+// the committed baseline should only diff when the numbers move.
+type report struct {
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Figures   []figureRow `json:"figures"`
+}
+
+// benchFigure times one (figure, noSkip) cell and returns the result
+// plus the simulated cycles of a single op.
+func benchFigure(f benchfig.Figure, noSkip bool) (testing.BenchmarkResult, uint64, error) {
+	var cycles uint64
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		cfg := f.Config()
+		cfg.NoSkip = noSkip
+		for i := 0; i < b.N; i++ {
+			_, c, err := benchfig.Run(f, &cfg)
+			if err != nil {
+				runErr = err
+				b.Fatal(err)
+			}
+			cycles = c
+		}
+	})
+	return r, cycles, runErr
+}
+
+func cyclesPerSec(cycles uint64, nsPerOp int64) float64 {
+	if nsPerOp <= 0 {
+		return 0
+	}
+	return float64(cycles) / (float64(nsPerOp) * 1e-9)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_figures.json", "output path")
+	figures := flag.String("figures", "", "regexp selecting figure names (\"\" = all)")
+	verbose := flag.Bool("v", true, "print a progress line per figure on stderr")
+	flag.Parse()
+
+	var sel *regexp.Regexp
+	if *figures != "" {
+		re, err := regexp.Compile(*figures)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		sel = re
+	}
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, f := range benchfig.Figures() {
+		if sel != nil && !sel.MatchString(f.Name) {
+			continue
+		}
+		skip, cycles, err := benchFigure(f, false)
+		if err == nil {
+			var ref testing.BenchmarkResult
+			ref, _, err = benchFigure(f, true)
+			if err == nil {
+				row := figureRow{
+					Name:                f.Name,
+					Model:               string(f.Model),
+					SimCyclesPerOp:      cycles,
+					SkipNsPerOp:         skip.NsPerOp(),
+					SkipSimCyclesPerS:   cyclesPerSec(cycles, skip.NsPerOp()),
+					NoSkipNsPerOp:       ref.NsPerOp(),
+					NoSkipSimCyclesPerS: cyclesPerSec(cycles, ref.NsPerOp()),
+				}
+				if row.SkipNsPerOp > 0 {
+					row.Speedup = float64(row.NoSkipNsPerOp) / float64(row.SkipNsPerOp)
+				}
+				rep.Figures = append(rep.Figures, row)
+				if *verbose {
+					fmt.Fprintf(os.Stderr, "%-22s %12d sim-cycles  skip %10dns/op  no-skip %10dns/op  %.2fx\n",
+						f.Name, row.SimCyclesPerOp, row.SkipNsPerOp, row.NoSkipNsPerOp, row.Speedup)
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", f.Name, err)
+			os.Exit(1)
+		}
+	}
+
+	w, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err == nil {
+		err = w.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -104,6 +104,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available workloads")
 		verbose = flag.Bool("v", false, "also print raw cycle counts and IPC")
 		quick   = flag.Bool("quick", false, "use reduced data sets (smoke runs)")
+		noSkip  = flag.Bool("no-skip", false, "disable quiescence skipping in the cycle loop (slower; output is identical)")
 
 		jobs     = flag.Int("jobs", 0, "max concurrent architecture runs (0 = GOMAXPROCS); output is identical for any value")
 		cacheDir = flag.String("cache-dir", "", "memoize run results as JSON under this directory (\"\" = off)")
@@ -148,6 +149,7 @@ func main() {
 	if *cpus > 0 {
 		cfg.NumCPUs = *cpus
 	}
+	cfg.NoSkip = *noSkip
 
 	pool := &runner.Pool{Workers: *jobs}
 	if *progress {

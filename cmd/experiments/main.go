@@ -52,6 +52,10 @@ type obsvOpts struct {
 
 var obsvFlags obsvOpts
 
+// noSkipFlag disables quiescence skipping in every dispatched run; the
+// skip regression suite uses it to prove output-identical behavior.
+var noSkipFlag bool
+
 // fatalf is the single exit path for run and sink failures: nothing is
 // printed-and-continued, so CI sees a non-zero exit on any broken cell.
 func fatalf(format string, args ...any) {
@@ -83,6 +87,7 @@ func (g *grid) addJob(wlName string, quick bool, arch core.Arch, model core.CPUM
 	if quick {
 		variant = "quick"
 	}
+	cfg.NoSkip = noSkipFlag
 	job := runner.Job{
 		Workload: func() (workload.Workload, error) {
 			if quick {
@@ -133,6 +138,7 @@ func main() {
 	flag.Uint64Var(&obsvFlags.interval, "metrics-interval", 0, "sample interval metrics every N cycles (0 = off)")
 	flag.StringVar(&obsvFlags.profOut, "prof-out", "", "write per-run cycle-attribution profiles as JSON (cmd/simprof -in); the run tag is spliced into this filename")
 	progress := flag.Bool("progress", false, "print per-job completion lines (wall time, cache status) on stderr; stdout is unaffected")
+	flag.BoolVar(&noSkipFlag, "no-skip", false, "disable quiescence skipping in the cycle loop (slower; output is identical)")
 	flag.Parse()
 
 	start := time.Now()

@@ -70,6 +70,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "memoize sweep-point results as JSON under this directory (\"\" = off)")
 	progress := flag.Bool("progress", false, "print per-job completion lines (wall time, cache status) on stderr; stdout is unaffected")
 	list := flag.Bool("params", false, "list sweepable parameters")
+	noSkip := flag.Bool("no-skip", false, "disable quiescence skipping in the cycle loop (slower; output is identical)")
 	flag.Parse()
 
 	if *list {
@@ -116,6 +117,7 @@ func main() {
 		}
 		cfg := memsys.DefaultConfig()
 		p.set(&cfg, v)
+		cfg.NoSkip = *noSkip
 		name := *wlName
 		points = append(points, v)
 		sweepJobs = append(sweepJobs, runner.Job{

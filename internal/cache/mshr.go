@@ -13,23 +13,31 @@ import (
 // memory system stores the service level there so that merged secondary
 // misses attribute their stall to the right place). Secondary misses to
 // the same line merge into the existing entry.
+//
+// The file is a dense fixed-capacity slice, not a map: it holds at most
+// max (4-8) entries but is consulted on every memory reference, so the
+// linear scan beats map hashing by a wide margin on the simulator's
+// hottest path, and the lazy reap is allocation- and iteration-order-
+// free. Slot order is unobservable — every operation is keyed by line
+// address, counts, or the sorted retirement list.
 type MSHRFile struct {
 	max     int
-	entries map[uint32]mshrEntry
+	entries []mshrSlot
 
 	trace obsv.Tracer
 	cpu   int8
 }
 
-type mshrEntry struct {
+type mshrSlot struct {
 	done uint64
+	addr uint32
 	tag  uint8
 }
 
 // NewMSHRFile returns an MSHR file with capacity max (the paper's CPUs
 // support four outstanding misses).
 func NewMSHRFile(max int) *MSHRFile {
-	return &MSHRFile{max: max, entries: make(map[uint32]mshrEntry, max)}
+	return &MSHRFile{max: max, entries: make([]mshrSlot, 0, max)}
 }
 
 // SetTracer attaches a tracer; allocations, retirements and structural
@@ -38,25 +46,32 @@ func (m *MSHRFile) SetTracer(tr obsv.Tracer, cpu int) {
 	m.trace, m.cpu = tr, int8(cpu)
 }
 
-// reap drops entries whose fills have completed by now. Entries are
-// reaped lazily, so retire events can be emitted well after their
-// timestamped completion cycle; tracers must tolerate that (sinks sort).
+// reap drops entries whose fills have completed by now, swapping the
+// last slot into the hole. Entries are reaped lazily, so retire events
+// can be emitted well after their timestamped completion cycle; tracers
+// must tolerate that (sinks sort).
 func (m *MSHRFile) reap(now uint64) {
 	if m.trace == nil {
-		//simlint:allow determinism — deletion-only sweep; iteration order is unobservable
-		for la, e := range m.entries {
-			if e.done <= now {
-				delete(m.entries, la)
+		for i := 0; i < len(m.entries); {
+			if m.entries[i].done <= now {
+				last := len(m.entries) - 1
+				m.entries[i] = m.entries[last]
+				m.entries = m.entries[:last]
+			} else {
+				i++
 			}
 		}
 		return
 	}
-	var retired []retiredEntry // deterministic emission order despite map iteration
-	//simlint:allow determinism — retirements are sorted by (done, addr) below before emission
-	for la, e := range m.entries {
-		if e.done <= now {
-			delete(m.entries, la)
-			retired = append(retired, retiredEntry{addr: la, done: e.done})
+	var retired []retiredEntry // deterministic emission order despite swap-deletes
+	for i := 0; i < len(m.entries); {
+		if e := m.entries[i]; e.done <= now {
+			retired = append(retired, retiredEntry{addr: e.addr, done: e.done})
+			last := len(m.entries) - 1
+			m.entries[i] = m.entries[last]
+			m.entries = m.entries[:last]
+		} else {
+			i++
 		}
 	}
 	sort.Slice(retired, func(i, j int) bool {
@@ -94,8 +109,12 @@ func (m *MSHRFile) Full(now uint64) bool {
 // it completes and with which caller tag.
 func (m *MSHRFile) Lookup(now uint64, lineAddr uint32) (done uint64, tag uint8, merged bool) {
 	m.reap(now)
-	e, ok := m.entries[lineAddr]
-	return e.done, e.tag, ok
+	for i := range m.entries {
+		if m.entries[i].addr == lineAddr {
+			return m.entries[i].done, m.entries[i].tag, true
+		}
+	}
+	return 0, 0, false
 }
 
 // Allocate records a new outstanding miss for lineAddr completing at
@@ -104,16 +123,18 @@ func (m *MSHRFile) Lookup(now uint64, lineAddr uint32) (done uint64, tag uint8, 
 // line merges, keeping the earlier completion.
 func (m *MSHRFile) Allocate(now uint64, lineAddr uint32, done uint64, tag uint8) bool {
 	m.reap(now)
-	if e, ok := m.entries[lineAddr]; ok {
-		if done < e.done {
-			m.entries[lineAddr] = mshrEntry{done: done, tag: tag}
+	for i := range m.entries {
+		if m.entries[i].addr == lineAddr {
+			if done < m.entries[i].done {
+				m.entries[i].done, m.entries[i].tag = done, tag
+			}
+			return true
 		}
-		return true
 	}
 	if len(m.entries) >= m.max {
 		return false
 	}
-	m.entries[lineAddr] = mshrEntry{done: done, tag: tag}
+	m.entries = append(m.entries, mshrSlot{done: done, addr: lineAddr, tag: tag}) //simlint:allow hotalloc — len < max <= cap (NewMSHRFile preallocates), so this never grows the backing array
 	if m.trace != nil {
 		m.trace.Emit(obsv.Event{
 			Cycle: now, Addr: lineAddr, Arg: uint32(cyc.Lat(done, now)),

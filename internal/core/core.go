@@ -50,11 +50,39 @@ func NewSystem(a Arch, cfg memsys.Config) (memsys.System, error) {
 
 // Core is a CPU model instance driven by the cycle loop.
 type Core interface {
-	Tick(now uint64)
+	// Tick advances the core by one cycle and returns a quiescence
+	// hint: the earliest cycle after now at which this core might have
+	// work (cpu.NoWork if it is now halted). The hint obeys the same
+	// asymmetric contract as NextWork — too small only costs no-op
+	// ticks — and is returned from Tick so the scheduler's common case
+	// (someone is runnable next cycle) costs no extra call: the cycle
+	// loop only falls back to the verifying NextWork scan when every
+	// hint clears cyc+1.
+	Tick(now uint64) uint64
 	Done() bool
 	Stats() cpu.StallStats
 	Context() *cpu.Context
 	FlushFetchBuffer()
+
+	// NextWork returns the earliest cycle at or after now at which Tick
+	// could make progress or have any observable side effect, assuming
+	// no external state changes first; cpu.NoWork if the core is halted.
+	// The quiescence-skipping scheduler jumps the cycle loop to the
+	// minimum NextWork across cores (bounded by pending events, sampler
+	// boundaries and interrupts), so the contract is asymmetric: a value
+	// that is too small merely costs no-op ticks, while a value that is
+	// too large would change simulation output. Models return now+1
+	// whenever they cannot cheaply prove a longer quiescent window.
+	NextWork(now uint64) uint64
+}
+
+// cycleSkipper is implemented by CPU models whose per-cycle accounting
+// must be backfilled across a skipped window. MXS charges one stall
+// cycle of blame per zero-graduation cycle; a skipped cycle still
+// happened architecturally, so the scheduler reports every jump to the
+// model before taking it.
+type cycleSkipper interface {
+	SkipCycles(from, to uint64)
 }
 
 // codeEntry is one loaded program's decoded text.
@@ -148,6 +176,11 @@ type Machine struct {
 	// uses it for preemption timers.
 	Events event.Queue
 	irq    []bool
+
+	// skipped counts the cycles the quiescence-skipping scheduler
+	// fast-forwarded over instead of ticking (a pure speed metric:
+	// simulated time is identical with skipping disabled).
+	skipped uint64
 
 	// syms is the machine-wide physical-address symbol table, collected
 	// from every loaded program (relocated by its load bias) so a
@@ -332,24 +365,42 @@ func (m *Machine) RunWindow(start, n uint64) (next uint64, halted bool, err erro
 	}
 	cpus := len(m.CPUs)
 	mets := m.Cfg.Metrics
+	noSkip := m.Cfg.NoSkip
+	end := start + n
 	cyc := start
-	for ; cyc < start+n; cyc++ {
+	for cyc < end {
 		m.Events.RunUntil(cyc)
 		alive := false
-		off := int(cyc) % cpus
+		// Candidate quiescence horizon, gathered from the ticks' own
+		// return hints. It can only be stale in the safe direction: a
+		// tick later in the rotation may create work for an earlier CPU
+		// (syscall wake, IPI), never remove any, so wake <= cyc+1
+		// soundly suppresses the skip and anything later is re-verified
+		// from fresh post-tick state by nextCycle.
+		wake := uint64(cpu.NoWork)
+		// Rotate in uint64 so multi-billion-cycle runs can't skew the
+		// arbitration order through a narrowing conversion on 32-bit ints.
+		off := int(cyc % uint64(cpus))
 		for i := 0; i < cpus; i++ {
 			c := m.CPUs[(i+off)%cpus]
 			if c.Done() {
 				continue
 			}
 			alive = true
-			c.Tick(cyc)
+			if w := c.Tick(cyc); w < wake {
+				wake = w
+			}
 		}
 		if mets != nil && mets.Due(cyc) {
 			mets.Record(m.probe(cyc))
 		}
 		if !alive {
 			break
+		}
+		if noSkip || wake <= cyc+1 {
+			cyc++
+		} else {
+			cyc = m.nextCycle(cyc, end, mets)
 		}
 	}
 	for _, c := range m.CPUs {
@@ -366,6 +417,89 @@ func (m *Machine) RunWindow(start, n uint64) (next uint64, halted bool, err erro
 	}
 	return cyc, allHalted, nil
 }
+
+// nextCycle is the slow path of the quiescence skip, entered only when
+// the tick pass's candidate horizon says every running CPU is inert
+// past cyc+1. It re-verifies that from fresh post-tick state (a tick
+// can wake another CPU mid-pass) and returns the cycle the loop should
+// execute next: cyc+1 normally, or — when every running CPU, the event
+// calendar, and the sampler are provably inert past cyc+1 — the
+// earliest cycle at which any of them next has work, clamped to end.
+// The skip is recomputed after every executed cycle, so an event that
+// schedules another event (or wakes a CPU) always re-bounds the next
+// jump; nothing scheduled from inside the skipped window can exist,
+// because nothing executes in it. Rotation offsets stay correct for
+// free: off derives from the actual cycle number, and all skipped
+// cycles are cycles in which no CPU would have ticked at all.
+func (m *Machine) nextCycle(cyc, end uint64, mets *obsv.Metrics) uint64 {
+	step := cyc + 1
+	if step >= end {
+		return step
+	}
+	target := uint64(cpu.NoWork)
+	running := false
+	for i, c := range m.CPUs {
+		if c.Done() {
+			continue
+		}
+		running = true
+		// A pending interrupt means the kernel wants this CPU's
+		// attention; deliver on the per-cycle path.
+		if i < len(m.irq) && m.irq[i] {
+			return step
+		}
+		w := c.NextWork(cyc)
+		if w <= step {
+			return step
+		}
+		if w < target {
+			target = w
+		}
+	}
+	if !running {
+		// Every CPU halted during the cycle just executed; let the loop
+		// run the next cycle per-cycle so its !alive break (and any
+		// final events or sample) happen exactly as without skipping.
+		return step
+	}
+	if ev, ok := m.Events.NextCycle(); ok {
+		if ev <= step {
+			return step
+		}
+		if ev < target {
+			target = ev
+		}
+	}
+	if mets != nil {
+		due := mets.NextDue()
+		if due <= step {
+			return step
+		}
+		if due < target {
+			target = due
+		}
+	}
+	if target > end {
+		target = end
+	}
+	if target <= step {
+		return step
+	}
+	for _, c := range m.CPUs {
+		if c.Done() {
+			continue
+		}
+		if s, ok := c.(cycleSkipper); ok {
+			s.SkipCycles(step, target)
+		}
+	}
+	m.skipped += target - step
+	return target
+}
+
+// SkippedCycles returns how many cycles the quiescence-skipping
+// scheduler jumped over instead of ticking, across all RunWindow calls.
+func (m *Machine) SkippedCycles() uint64 { return m.skipped }
 
 // Run executes the cycle loop until every CPU halts, any context
 // faults, or maxCycles elapses.

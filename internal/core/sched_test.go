@@ -1,0 +1,197 @@
+package core
+
+// Scheduler-level tests for the quiescence-skipping cycle loop, using
+// stub cores so blocking horizons and tick order are fully controlled.
+// The end-to-end output-identity proof lives in the root package's
+// skip_test.go; these pin the loop mechanics themselves: rotation
+// arbitration at large cycle counts, skip distances, event chains that
+// cross a would-be skip window, and sampler boundaries.
+
+import (
+	"reflect"
+	"testing"
+
+	"cmpsim/internal/cpu"
+	"cmpsim/internal/memsys"
+	"cmpsim/internal/obsv"
+)
+
+// stubTick records one executed tick: which core ran at which cycle, in
+// service order.
+type stubTick struct {
+	cycle uint64
+	id    int
+}
+
+// stubCore is a minimal Core: blocked (a pure no-op, like a Mipsy CPU
+// waiting on memory) until blockedUntil, then runnable every cycle.
+type stubCore struct {
+	id           int
+	blockedUntil uint64
+	haltAt       uint64 // halt when ticked at or after this cycle (0 = never)
+	halted       bool
+	log          *[]stubTick
+	ctx          cpu.Context
+}
+
+func (s *stubCore) Tick(now uint64) uint64 {
+	if !s.halted && now >= s.blockedUntil {
+		*s.log = append(*s.log, stubTick{now, s.id})
+		if s.haltAt != 0 && now >= s.haltAt {
+			s.halted = true
+			s.ctx.Halted = true
+		}
+	}
+	return s.NextWork(now)
+}
+
+func (s *stubCore) Done() bool            { return s.halted }
+func (s *stubCore) Stats() cpu.StallStats { return cpu.StallStats{} }
+func (s *stubCore) Context() *cpu.Context { return &s.ctx }
+func (s *stubCore) FlushFetchBuffer()     {}
+func (s *stubCore) NextWork(now uint64) uint64 {
+	if s.halted {
+		return cpu.NoWork
+	}
+	if s.blockedUntil > now {
+		return s.blockedUntil
+	}
+	return now
+}
+
+// stubMachine builds a Machine around stub cores sharing one tick log.
+func stubMachine(cores ...*stubCore) *Machine {
+	m := &Machine{}
+	for _, c := range cores {
+		m.CPUs = append(m.CPUs, c)
+	}
+	return m
+}
+
+// TestRotationOffsetAtLargeCycles pins the arbitration rotation beyond
+// 2^32 cycles: the offset must be computed in uint64 (a narrowing
+// int(cyc) would skew the rotation wherever int is 32 bits wide).
+func TestRotationOffsetAtLargeCycles(t *testing.T) {
+	var log []stubTick
+	cores := []*stubCore{{id: 0, log: &log}, {id: 1, log: &log}, {id: 2, log: &log}}
+	m := stubMachine(cores...)
+	start := uint64(3)<<32 + 5
+	if _, _, err := m.RunWindow(start, 2); err != nil {
+		t.Fatal(err)
+	}
+	var want []stubTick
+	for cyc := start; cyc < start+2; cyc++ {
+		off := int(cyc % 3)
+		for i := 0; i < 3; i++ {
+			want = append(want, stubTick{cyc, (i + off) % 3})
+		}
+	}
+	if !reflect.DeepEqual(log, want) {
+		t.Errorf("service order = %v, want %v", log, want)
+	}
+}
+
+// TestSkipJumpsBlockedWindow: with every core blocked, the loop must
+// jump straight to the earliest wake-up cycle — and with NoSkip it must
+// grind through every cycle — with identical executed ticks either way.
+func TestSkipJumpsBlockedWindow(t *testing.T) {
+	run := func(noSkip bool) ([]stubTick, uint64) {
+		var log []stubTick
+		m := stubMachine(
+			&stubCore{id: 0, blockedUntil: 1000, haltAt: 1001, log: &log},
+			&stubCore{id: 1, blockedUntil: 1200, haltAt: 1200, log: &log},
+		)
+		m.Cfg.NoSkip = noSkip
+		next, halted, err := m.RunWindow(0, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !halted {
+			t.Fatalf("noSkip=%v: machine should have halted, stopped at %d", noSkip, next)
+		}
+		return log, m.SkippedCycles()
+	}
+	skipLog, skipped := run(false)
+	refLog, refSkipped := run(true)
+	if !reflect.DeepEqual(skipLog, refLog) {
+		t.Errorf("executed ticks diverge:\nskip:    %v\nno-skip: %v", skipLog, refLog)
+	}
+	if refSkipped != 0 {
+		t.Errorf("NoSkip run skipped %d cycles, want 0", refSkipped)
+	}
+	if skipped == 0 {
+		t.Error("skipping run reports 0 skipped cycles; the jump never happened")
+	}
+	// Cycle 0 ticks both blocked cores (no-ops), then the loop may jump
+	// to 1000; core 0 runs cycles 1000-1001, core 1 wakes at 1200.
+	if len(skipLog) == 0 || skipLog[0].cycle != 1000 {
+		t.Fatalf("first executed tick = %+v, want cycle 1000", skipLog[:min(len(skipLog), 1)])
+	}
+}
+
+// TestEventChainAcrossSkip: an event at cycle N scheduling one at N+k
+// must never be jumped over, even when every CPU sleeps far beyond it —
+// each executed cycle re-bounds the next jump by Events.NextCycle.
+func TestEventChainAcrossSkip(t *testing.T) {
+	var log []stubTick
+	m := stubMachine(&stubCore{id: 0, blockedUntil: 10000, log: &log})
+	var fired []uint64
+	m.Events.Schedule(5, func(at uint64) {
+		fired = append(fired, at)
+		m.Events.Schedule(12, func(at2 uint64) {
+			fired = append(fired, at2)
+			m.Events.Schedule(40, func(at3 uint64) { fired = append(fired, at3) })
+		})
+	})
+	if _, _, err := m.RunWindow(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{5, 12, 40}; !reflect.DeepEqual(fired, want) {
+		t.Errorf("events fired at %v, want %v", fired, want)
+	}
+	// Executed cycles: 0 (window start), 5, 12, 40 — the other 96 skipped.
+	if got := m.SkippedCycles(); got != 96 {
+		t.Errorf("skipped = %d, want 96", got)
+	}
+}
+
+// TestRunWindowSteadyStateAllocs pins the scheduler's own steady-state
+// path — event drain, tick-hint gathering, and the nextCycle
+// verification scan with its jump — at zero allocations per window.
+func TestRunWindowSteadyStateAllocs(t *testing.T) {
+	var log []stubTick
+	m := stubMachine(
+		&stubCore{id: 0, blockedUntil: 1 << 62, log: &log},
+		&stubCore{id: 1, blockedUntil: 1 << 62, log: &log},
+	)
+	var win uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, err := m.RunWindow(win*1000, 1000); err != nil {
+			t.Fatal(err)
+		}
+		win++
+	})
+	if allocs != 0 {
+		t.Errorf("RunWindow steady state = %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestMetricsBoundariesNotSkipped: sampler due-cycles bound every jump,
+// so the interval time-series has exactly the same sample points with
+// skipping as without.
+func TestMetricsBoundariesNotSkipped(t *testing.T) {
+	var log []stubTick
+	m := stubMachine(&stubCore{id: 0, blockedUntil: 60, log: &log})
+	m.Sys = memsys.NewSharedMem(memsys.DefaultConfig())
+	m.Cfg.Metrics = obsv.NewMetrics(10)
+	if _, _, err := m.RunWindow(0, 45); err != nil {
+		t.Fatal(err)
+	}
+	var cycles []uint64
+	for _, s := range m.Cfg.Metrics.Samples() {
+		cycles = append(cycles, s.End)
+	}
+	if want := []uint64{10, 20, 30, 40}; !reflect.DeepEqual(cycles, want) {
+		t.Errorf("sample cycles = %v, want %v", cycles, want)
+	}
+}

@@ -35,6 +35,12 @@ func (c *Context) Faultf(format string, args ...any) {
 	c.Fault = fmt.Sprintf(format, args...)
 }
 
+// NoWork is the sentinel a CPU model's NextWork returns when the core
+// can never make progress on its own (halted, or inert until external
+// state changes): it places no bound on how far the quiescence-skipping
+// scheduler may fast-forward the cycle loop.
+const NoWork = ^uint64(0)
+
 // CodeSource resolves a physical address to a decoded instruction. The
 // simulator core implements it over the loaded programs.
 type CodeSource interface {

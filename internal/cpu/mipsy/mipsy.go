@@ -76,9 +76,45 @@ func (c *CPU) Done() bool { return c.ctx.Halted }
 // differently.
 func (c *CPU) FlushFetchBuffer() { c.fetchLine = invalidLine }
 
-// Tick advances the CPU by (at most) one instruction at cycle now. The
-// simulator core calls Tick once per cycle per CPU.
-func (c *CPU) Tick(now uint64) {
+// NextWork implements the scheduler's quiescence probe: the earliest
+// cycle at or after now at which Tick can do anything. While blocked on
+// a memory reference the CPU is completely inert until nextFree — every
+// stall cycle was already charged when the access was issued — so the
+// cycle loop may jump straight there. A pending interrupt changes
+// nothing: Tick only polls the line once the CPU is free again, so
+// delivery still happens at nextFree, exactly as in the per-cycle loop.
+func (c *CPU) NextWork(now uint64) uint64 {
+	if c.ctx.Halted {
+		return cpu.NoWork
+	}
+	if c.nextFree > now {
+		return c.nextFree
+	}
+	return now
+}
+
+// Tick advances the CPU by (at most) one instruction at cycle now and
+// returns the scheduler's quiescence hint (see core.Core): nextFree,
+// which after an executed instruction is exactly the next cycle this
+// CPU can do anything, and during a memory stall is the cycle the
+// blocking access completes. The hint costs nothing — nextFree is
+// already in hand on every path.
+func (c *CPU) Tick(now uint64) uint64 {
+	c.step(now)
+	if c.ctx.Halted {
+		return cpu.NoWork
+	}
+	if c.nextFree > now {
+		return c.nextFree
+	}
+	// Faulted (but not halted) or an unreached corner: stay per-cycle.
+	return now + 1
+}
+
+// step executes the cycle: deliver a pending interrupt at the
+// instruction boundary, or fetch and run one instruction if the CPU is
+// free.
+func (c *CPU) step(now uint64) {
 	ctx := c.ctx
 	if ctx.Halted || now < c.nextFree {
 		return

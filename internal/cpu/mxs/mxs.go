@@ -173,9 +173,9 @@ func (c *CPU) Done() bool { return c.ctx.Halted }
 func (c *CPU) FlushFetchBuffer() { c.fetchLine = invalidLine }
 
 // Tick advances the core by one cycle.
-func (c *CPU) Tick(now uint64) {
+func (c *CPU) Tick(now uint64) uint64 {
 	if c.ctx.Halted {
-		return
+		return cpu.NoWork
 	}
 	if c.irq != nil && c.irq.PendingInterrupt(c.id) {
 		c.irqStop = true
@@ -188,7 +188,7 @@ func (c *CPU) Tick(now uint64) {
 		c.irqStop = false
 		c.fetchPC = c.ctx.PC
 		c.fetchReady = now + 1 + extra
-		return
+		return c.NextWork(now)
 	}
 	graduated := c.graduate(now)
 	c.complete(now)
@@ -200,6 +200,136 @@ func (c *CPU) Tick(now uint64) {
 	if graduated == 0 && !c.ctx.Halted {
 		c.blame(now)
 	}
+	// Quiescence hint (see core.Core): a graduating pipeline certainly
+	// has per-cycle work, so the full NextWork proof only runs on
+	// zero-graduation cycles — the stalls it exists to fast-forward.
+	if c.ctx.Halted {
+		return cpu.NoWork
+	}
+	if graduated > 0 {
+		return now + 1
+	}
+	return c.NextWork(now)
+}
+
+// NextWork implements the scheduler's quiescence probe: the earliest
+// cycle at or after now at which Tick can make progress or have a
+// per-cycle side effect beyond stall blame (which SkipCycles backfills).
+// The proof is conservative — any state whose wake-up time this scan
+// cannot bound returns now+1, which degrades gracefully to the
+// per-cycle loop — and sound only because every timed transition in the
+// pipeline is driven by a cycle number the scan can see: fetchReady for
+// the front end and doneAt for every in-flight instruction. States
+// governed by memory-system backpressure instead of a timestamp (write
+// buffer or MSHR refusal retries, serializing instructions at the
+// head) must be ticked every cycle, both because their retry probes
+// have per-cycle side effects (stat charging, refusal trace events)
+// and because the retry outcome is not visible from here.
+func (c *CPU) NextWork(now uint64) uint64 {
+	if c.ctx.Halted {
+		return cpu.NoWork
+	}
+	if c.irqStop || (c.irq != nil && c.irq.PendingInterrupt(c.id)) {
+		return now + 1 // interrupt delivery and pipeline draining are per-cycle
+	}
+	wake := uint64(cpu.NoWork)
+	if !c.fetchStalled && !c.fetchFault && len(c.fq) < fetchQueue {
+		if c.fetchReady <= now+1 {
+			return now + 1 // the front end can fetch next cycle
+		}
+		wake = c.fetchReady // I-miss completion re-enables fetch
+	}
+	if len(c.fq) > 0 && c.count < windowSize {
+		return now + 1 // dispatch moves fetched instructions every cycle
+	}
+	if c.tr != nil && c.count == windowSize && len(c.fq) > 0 {
+		return now + 1 // the window-full trace event is emitted per cycle
+	}
+	for i, idx := 0, c.head; i < c.count; i, idx = i+1, (idx+1)%windowSize {
+		e := &c.rob[idx]
+		op := e.inst.Op
+		if op == isa.SYSCALL || op == isa.HALT || op == isa.LL || op == isa.SC {
+			if idx == c.head {
+				return now + 1 // serializers execute (and retry) at the head
+			}
+			continue // inert until it reaches the head; older entries bound that
+		}
+		if !e.issued {
+			// Wakes when its last producer completes. If its operands are
+			// already available, the reason it has not issued (FU conflict,
+			// issue width, a load blocked on an older store or refused by
+			// the memory system) is not provable from here: no skip.
+			ready := now
+			unknown := false
+			for s := 0; s < e.nSrc; s++ {
+				p := e.srcProd[s]
+				if p < 0 {
+					continue
+				}
+				pe := &c.rob[p]
+				if !pe.issued {
+					// The producer's own window entry bounds progress; this
+					// consumer cannot issue before the producer does.
+					unknown = true
+					break
+				}
+				if !pe.done && pe.doneAt <= now {
+					return now + 1 // completion pass cut short by a flush this cycle
+				}
+				if pe.doneAt > ready {
+					ready = pe.doneAt
+				}
+			}
+			if unknown {
+				continue
+			}
+			if ready <= now {
+				return now + 1
+			}
+			if ready < wake {
+				wake = ready
+			}
+			continue
+		}
+		if !e.done {
+			if e.doneAt <= now {
+				return now + 1 // complete() was cut short by a flush this cycle
+			}
+			if e.doneAt < wake {
+				wake = e.doneAt // completion marks it done at doneAt
+			}
+			continue
+		}
+		// Issued and done: values latched, inert — except at the head,
+		// where graduation acts on it (or retries against memory-system
+		// backpressure) as soon as doneAt has passed.
+		if idx == c.head {
+			if e.doneAt <= now {
+				return now + 1
+			}
+			if e.doneAt < wake {
+				wake = e.doneAt
+			}
+		}
+	}
+	if wake <= now {
+		return now + 1
+	}
+	return wake
+}
+
+// SkipCycles is the scheduler's bulk-accounting hook: the cycles in
+// [from, to) were proved inert by NextWork and will never be ticked,
+// but in the per-cycle loop each of them would have charged one
+// zero-graduation blame cycle. NextWork guarantees nothing completes,
+// issues, dispatches or graduates inside the range, so the blame
+// attribution is frozen across it and one bulk charge of to-from
+// cycles is identical to the per-cycle charges.
+func (c *CPU) SkipCycles(from, to uint64) {
+	if c.ctx.Halted || to <= from {
+		return
+	}
+	c.blameN(from, to-from)
 }
 
 // --- graduate ---
@@ -831,14 +961,21 @@ func (c *CPU) predict(pc uint32, in isa.Inst) uint32 {
 // paper's Figure 11 categories: instruction stalls, data stalls, and
 // pipeline stalls (which include the shared-L1 hit time and bank
 // contention, surfaced here as L1-level load waits).
-func (c *CPU) blame(now uint64) {
+func (c *CPU) blame(now uint64) { c.blameN(now, 1) }
+
+// blameN charges n consecutive zero-graduation cycles starting at now.
+// The bulk form exists for SkipCycles: across a window NextWork proved
+// inert, the head entry (and the cause it would be blamed on) cannot
+// change, so charging n cycles at once is identical to n per-cycle
+// blame calls.
+func (c *CPU) blameN(now, n uint64) {
 	if c.count == 0 {
-		c.stats.IStall[c.fetchLvl]++
+		c.stats.IStall[c.fetchLvl] += n
 		if c.prof != nil {
 			// Charge the PC the front end is trying to fetch; Translate
 			// is pure, and only paid when profiling is on.
 			if ppc, ok := c.ctx.Space.Translate(c.fetchPC); ok {
-				c.prof.IStallPC(ppc, uint8(c.fetchLvl), 1)
+				c.prof.IStallPC(ppc, uint8(c.fetchLvl), n)
 			}
 		}
 		return
@@ -848,25 +985,25 @@ func (c *CPU) blame(now uint64) {
 	switch {
 	case e.issued && !e.fwd && op.IsLoad() && (!e.done || e.doneAt > now):
 		if e.memLevel == memsys.LvlL1 {
-			c.stats.PipeStall++ // extra hit latency / bank contention
+			c.stats.PipeStall += n // extra hit latency / bank contention
 			if c.prof != nil {
-				c.prof.PipeStallPC(e.ppc, 1)
+				c.prof.PipeStallPC(e.ppc, n)
 			}
 		} else {
-			c.stats.DStall[e.memLevel]++
+			c.stats.DStall[e.memLevel] += n
 			if c.prof != nil {
-				c.prof.DStallPC(e.ppc, uint8(e.memLevel), 1)
+				c.prof.DStallPC(e.ppc, uint8(e.memLevel), n)
 			}
 		}
 	case op.IsStore() && e.done && e.doneAt <= now:
-		c.stats.DStall[memsys.LvlL2]++ // write buffer backpressure
+		c.stats.DStall[memsys.LvlL2] += n // write buffer backpressure
 		if c.prof != nil {
-			c.prof.DStallPC(e.ppc, uint8(memsys.LvlL2), 1)
+			c.prof.DStallPC(e.ppc, uint8(memsys.LvlL2), n)
 		}
 	default:
-		c.stats.PipeStall++
+		c.stats.PipeStall += n
 		if c.prof != nil {
-			c.prof.PipeStallPC(e.ppc, 1)
+			c.prof.PipeStallPC(e.ppc, n)
 		}
 	}
 }

@@ -95,3 +95,106 @@ func TestQuickFiresInCycleOrder(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestNextCycleTracksHead pins NextCycle across schedules and drains:
+// it must always report the earliest pending cycle, including after
+// out-of-order scheduling and partial drains.
+func TestNextCycleTracksHead(t *testing.T) {
+	var q Queue
+	nop := Func(func(uint64) {})
+	q.Schedule(30, nop)
+	if c, ok := q.NextCycle(); !ok || c != 30 {
+		t.Fatalf("NextCycle = %d,%v, want 30,true", c, ok)
+	}
+	q.Schedule(10, nop) // earlier event must take the head
+	if c, ok := q.NextCycle(); !ok || c != 10 {
+		t.Fatalf("NextCycle = %d,%v, want 10,true", c, ok)
+	}
+	q.Schedule(20, nop)
+	q.RunUntil(10)
+	if c, ok := q.NextCycle(); !ok || c != 20 {
+		t.Fatalf("NextCycle after drain = %d,%v, want 20,true", c, ok)
+	}
+	q.RunUntil(30)
+	if _, ok := q.NextCycle(); ok {
+		t.Fatal("NextCycle on drained queue should report !ok")
+	}
+}
+
+// TestNextCycleSeesRescheduledEvents pins the property the
+// quiescence-skipping scheduler depends on: after an event at cycle N
+// schedules a follow-up at N+k, NextCycle immediately reports N+k, so
+// the cycle loop can never jump over a chain of self-rescheduling
+// events (the guest kernel's preemption timers are exactly this shape).
+func TestNextCycleSeesRescheduledEvents(t *testing.T) {
+	var q Queue
+	var fired []uint64
+	var tick Func
+	tick = func(at uint64) {
+		fired = append(fired, at)
+		if at < 50 {
+			q.Schedule(at+10, tick)
+		}
+	}
+	q.Schedule(10, tick)
+	for cyc := uint64(0); cyc <= 60; cyc++ {
+		q.RunUntil(cyc)
+		if next, ok := q.NextCycle(); ok && next <= cyc {
+			t.Fatalf("NextCycle = %d at cycle %d: pending past event", next, cyc)
+		}
+	}
+	want := []uint64{10, 20, 30, 40, 50}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestScheduleSteadyStateZeroAllocs is the satellite acceptance gate
+// for the typed heap: once the backing array has reached its high-water
+// mark, the Schedule → RunUntil steady state performs no allocations
+// (container/heap's Push boxed every item into an interface value).
+func TestScheduleSteadyStateZeroAllocs(t *testing.T) {
+	var q Queue
+	nop := Func(func(uint64) {})
+	// Warm the backing array past any size this loop reaches.
+	for i := 0; i < 64; i++ {
+		q.Schedule(uint64(i), nop)
+	}
+	q.RunUntil(64)
+	cycle := uint64(100)
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.Schedule(cycle, nop)
+		q.Schedule(cycle+3, nop)
+		q.RunUntil(cycle + 1)
+		q.RunUntil(cycle + 3)
+		cycle += 4
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Schedule/RunUntil = %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkQueueScheduleRun measures the steady-state scheduler path:
+// one timer-style reschedule plus drain per op, the pattern the guest
+// kernel's preemption timers generate. Must report 0 allocs/op.
+func BenchmarkQueueScheduleRun(b *testing.B) {
+	var q Queue
+	nop := Func(func(uint64) {})
+	for i := 0; i < 8; i++ {
+		q.Schedule(uint64(i), nop)
+	}
+	q.RunUntil(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := uint64(i)
+		q.Schedule(c+4, nop)
+		q.Schedule(c+2, nop)
+		q.RunUntil(c)
+	}
+}

@@ -92,6 +92,17 @@ func conjuncts(cond ast.Expr) []ast.Expr {
 	return []ast.Expr{cond}
 }
 
+// disjuncts splits an || chain into its operands (a non-|| expression is
+// its own single disjunct). When a condition is known false, every
+// disjunct is individually false.
+func disjuncts(cond ast.Expr) []ast.Expr {
+	cond = unparen(cond)
+	if be, ok := cond.(*ast.BinaryExpr); ok && be.Op == token.LOR {
+		return append(disjuncts(be.X), disjuncts(be.Y)...)
+	}
+	return []ast.Expr{cond}
+}
+
 // isTerminal reports whether a statement unconditionally leaves the
 // enclosing block (return, break, continue, goto, or panic).
 func isTerminal(s ast.Stmt) bool {

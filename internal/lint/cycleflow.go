@@ -86,7 +86,7 @@ func subGuarded(sub ast.Node, xs, ys string, stack []ast.Node) bool {
 			}
 			// In the else branch the condition is false, so a failed
 			// `a < b` proves a >= b.
-			if inElse && condImpliesLT(s.Cond, xs, ys) {
+			if inElse && condFalseImpliesGE(s.Cond, xs, ys) {
 				return true
 			}
 		case *ast.ForStmt:
@@ -108,7 +108,7 @@ func subGuarded(sub ast.Node, xs, ys string, stack []ast.Node) bool {
 				if !ok || !bodyTerminates(ifs) {
 					continue
 				}
-				if condImpliesLT(ifs.Cond, xs, ys) {
+				if condFalseImpliesGE(ifs.Cond, xs, ys) {
 					return true
 				}
 			}
@@ -118,7 +118,10 @@ func subGuarded(sub ast.Node, xs, ys string, stack []ast.Node) bool {
 }
 
 // condImpliesGE reports whether cond being true proves xs >= ys; &&
-// conjuncts are each tried.
+// conjuncts each hold, so each is tried. Beyond the exact comparison it
+// understands the skip-jump idiom of bounding against ys plus a
+// non-negative literal: a true `xs > ys+k` (or `ys+k < xs`) proves
+// xs >= ys for any constant k >= 0.
 func condImpliesGE(cond ast.Expr, xs, ys string) bool {
 	for _, c := range conjuncts(cond) {
 		be, ok := unparen(c).(*ast.BinaryExpr)
@@ -128,11 +131,11 @@ func condImpliesGE(cond ast.Expr, xs, ys string) bool {
 		l, r := exprKey(be.X), exprKey(be.Y)
 		switch be.Op {
 		case token.GTR, token.GEQ: // l > r or l >= r
-			if l == xs && r == ys {
+			if l == xs && (r == ys || baseOfAddConst(be.Y) == ys) {
 				return true
 			}
 		case token.LSS, token.LEQ: // l < r  ⇒  r > l
-			if l == ys && r == xs {
+			if r == xs && (l == ys || baseOfAddConst(be.X) == ys) {
 				return true
 			}
 		case token.EQL:
@@ -144,28 +147,52 @@ func condImpliesGE(cond ast.Expr, xs, ys string) bool {
 	return false
 }
 
-// condImpliesLT reports whether cond being true proves xs < ys or
-// xs <= ys — i.e. a guard that exits exactly the unsafe cases of
-// xs - ys (allowing <=, since xs == ys makes the difference 0).
-func condImpliesLT(cond ast.Expr, xs, ys string) bool {
-	for _, c := range conjuncts(cond) {
+// condFalseImpliesGE reports whether cond being false proves xs >= ys —
+// the question asked by an else branch or a taken early exit. A false
+// condition falsifies every || disjunct individually, so each is tried:
+// a failed `xs < ys` or `xs <= ys` (or the mirrored `ys > xs`) proves
+// the subtraction safe, and so does a failed `xs <= ys+k` for a
+// non-negative literal k (the skip-jump guard `if target <= step+1 {
+// return }`). && conjunctions prove nothing here — ¬(A && B) leaves
+// either conjunct possibly true — so they are deliberately not split.
+func condFalseImpliesGE(cond ast.Expr, xs, ys string) bool {
+	for _, c := range disjuncts(cond) {
 		be, ok := unparen(c).(*ast.BinaryExpr)
 		if !ok {
 			continue
 		}
 		l, r := exprKey(be.X), exprKey(be.Y)
 		switch be.Op {
-		case token.LSS, token.LEQ:
-			if l == xs && r == ys {
+		case token.LSS, token.LEQ: // ¬(l < r) ⇒ l >= r
+			if l == xs && (r == ys || baseOfAddConst(be.Y) == ys) {
 				return true
 			}
-		case token.GTR, token.GEQ:
-			if l == ys && r == xs {
+		case token.GTR, token.GEQ: // ¬(l > r) ⇒ r >= l
+			if r == xs && (l == ys || baseOfAddConst(be.X) == ys) {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// baseOfAddConst returns the key of e's non-literal operand when e has
+// the shape `base + k` or `k + base` with k an integer literal (always
+// non-negative — Go has no negative literals, only negation, which is a
+// unary expression and rejected here). It returns "" otherwise; "" never
+// equals an operand key, so lookups on non-matching shapes fail closed.
+func baseOfAddConst(e ast.Expr) string {
+	be, ok := unparen(e).(*ast.BinaryExpr)
+	if !ok || be.Op != token.ADD {
+		return ""
+	}
+	if lit, ok := unparen(be.Y).(*ast.BasicLit); ok && lit.Kind == token.INT {
+		return exprKey(be.X)
+	}
+	if lit, ok := unparen(be.X).(*ast.BasicLit); ok && lit.Kind == token.INT {
+		return exprKey(be.Y)
+	}
+	return ""
 }
 
 // returnsBeforeNow reports whether sub is `now - c` (c a positive

@@ -40,6 +40,34 @@ func compoundOperand(done, cur uint64) uint64 {
 	return 0
 }
 
+func orEarlyExit(halted bool, to, from uint64) uint64 {
+	if halted || to <= from {
+		return 0
+	}
+	return to - from // ok: a taken exit falsifies every || disjunct
+}
+
+func skipJumpGuard(target, step uint64) uint64 {
+	if target > step+1 {
+		return target - step // ok: target > step+1 implies target >= step
+	}
+	return 0
+}
+
+func skipJumpEarlyExit(target, step uint64) uint64 {
+	if target <= step+1 {
+		return 0
+	}
+	return target - step // ok: the failed `<= step+1` proves target > step
+}
+
+func andEarlyExit(flagged bool, a, b uint64) uint64 {
+	if a < b && flagged {
+		return 0
+	}
+	return a - b // want "unguarded uint64 cycle subtraction"
+}
+
 func beforeNow(now uint64) result {
 	return result{Done: now - 1} // want "before now"
 }

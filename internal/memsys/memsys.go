@@ -175,6 +175,14 @@ type Config struct {
 	// Config copy feeds one collector; like Trace, a non-nil profiler
 	// makes a runner job uncacheable.
 	Prof *prof.Profiler
+
+	// NoSkip disables the core loop's quiescence skipping (cmpsim
+	// -no-skip), forcing every cycle to be ticked as before the
+	// event-driven scheduler existed. Output is identical either way —
+	// that is the scheduler's correctness bar, pinned by the skip
+	// regression tests — so this is purely a debugging escape hatch and
+	// the reference side of the skip-vs-no-skip diff.
+	NoSkip bool
 }
 
 // traceAccess reports one completed data access to the tracer and the

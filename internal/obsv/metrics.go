@@ -203,6 +203,12 @@ func (m *Metrics) ObserveAccess(level uint8, lat uint64) { m.hist.Observe(level,
 // Due reports whether a sample boundary has been reached at cycle.
 func (m *Metrics) Due(cycle uint64) bool { return cycle >= m.nextAt }
 
+// NextDue returns the next sample-boundary cycle. The
+// quiescence-skipping scheduler uses it as one of the bounds the cycle
+// loop may not jump over, so interval samples land on exactly the same
+// cycles with and without skipping.
+func (m *Metrics) NextDue() uint64 { return m.nextAt }
+
 // Record closes the interval ending at p.Cycle. The caller probes the
 // machine when Due reports true.
 func (m *Metrics) Record(p Probe) {

@@ -29,6 +29,13 @@ type MP3D struct {
 	prog *asm.Program
 	ref  *mp3dState
 	seed int64
+
+	// clampSeq generates unique local label names across the emit
+	// helpers. Per-instance (not package-level) so repeated builds in
+	// one process emit identical label names — a package-level counter
+	// made profile symbol tables differ between otherwise identical
+	// runs.
+	clampSeq int
 }
 
 // MP3DParams configures MP3D; zero fields take defaults.
@@ -457,14 +464,14 @@ func (w *MP3D) emitCellIndex(b *asm.Builder, fx, fy, fz asm.FReg, rd asm.Reg) {
 	clamp := func(f asm.FReg, r asm.Reg) {
 		b.CVTFI(r, f)
 		// if r < 0: r = 0
-		b.BGE(r, asm.R0, fmt.Sprintf("mp_cl%d_a", clampSeq))
+		b.BGE(r, asm.R0, fmt.Sprintf("mp_cl%d_a", w.clampSeq))
 		b.LI(r, 0)
-		b.Label(fmt.Sprintf("mp_cl%d_a", clampSeq))
+		b.Label(fmt.Sprintf("mp_cl%d_a", w.clampSeq))
 		// if r >= G: r = G-1
-		b.BLT(r, asm.R25, fmt.Sprintf("mp_cl%d_b", clampSeq))
+		b.BLT(r, asm.R25, fmt.Sprintf("mp_cl%d_b", w.clampSeq))
 		b.ADDI(r, asm.R25, -1)
-		b.Label(fmt.Sprintf("mp_cl%d_b", clampSeq))
-		clampSeq++
+		b.Label(fmt.Sprintf("mp_cl%d_b", w.clampSeq))
+		w.clampSeq++
 	}
 	clamp(fx, rd)
 	clamp(fy, asm.R14)
@@ -477,9 +484,9 @@ func (w *MP3D) emitCellIndex(b *asm.Builder, fx, fy, fz asm.FReg, rd asm.Reg) {
 
 // emitWrap applies periodic boundary wrap to f: F12 holds G, F13 zero.
 func (w *MP3D) emitWrap(b *asm.Builder, f asm.FReg, axis string) {
-	lo := fmt.Sprintf("mp_w%d_lo", clampSeq)
-	hi := fmt.Sprintf("mp_w%d_hi", clampSeq)
-	clampSeq++
+	lo := fmt.Sprintf("mp_w%d_lo", w.clampSeq)
+	hi := fmt.Sprintf("mp_w%d_hi", w.clampSeq)
+	w.clampSeq++
 	b.FLT(asm.R8, f, asm.F13) // f < 0 ?
 	b.BEQZ(asm.R8, lo)
 	b.FADDD(f, f, asm.F12)
@@ -489,9 +496,6 @@ func (w *MP3D) emitWrap(b *asm.Builder, f asm.FReg, axis string) {
 	b.FSUBD(f, f, asm.F12)
 	b.Label(hi)
 }
-
-// clampSeq generates unique local label names across emit calls.
-var clampSeq int
 
 // Validate implements Workload.
 func (w *MP3D) Validate(m *core.Machine) error {
