@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet lint test race smoke race-smoke bench bench-trace clean
+.PHONY: all build check vet lint test race smoke race-smoke bench bench-gate bench-trace telemetry-smoke clean
 
 all: build
 
@@ -54,6 +54,20 @@ race-smoke:
 # so every PR leaves a perf trajectory to regress against.
 bench:
 	$(GO) run ./cmd/benchjson
+
+# bench-gate is the CI perf gate: re-measure the figure matrix
+# (median of 3 samples per cell) and diff against the committed
+# baseline. Sim cycle counts must match exactly (determinism anchor);
+# MemBound rows must keep a >= 2x skip speedup; every other row's
+# dimensionless speedup must stay within ±30% of its baseline value.
+bench-gate:
+	$(GO) run ./cmd/benchjson -gate BENCH_figures.json -samples 3
+
+# telemetry-smoke scrapes the live /metrics endpoint in the middle of
+# a parallel campaign and reconciles it against the final run report —
+# the ISSUE 6 acceptance criterion, as a hermetic Go test.
+telemetry-smoke:
+	$(GO) test -race -run TestTelemetryHTTPSmoke -v .
 
 # bench-trace proves the disabled-instrumentation acceptance bar:
 # BenchmarkTracerDisabled and BenchmarkProfDisabled must report

@@ -7,9 +7,21 @@
 // skip-vs-no-skip speedup per figure. CI uploads the file as an
 // artifact so future PRs have a perf trajectory to regress against.
 //
+// With -gate it becomes the CI perf gate instead: it re-measures the
+// matrix and compares against the committed baseline without writing
+// anything. Simulated cycle counts must match the baseline exactly
+// (they are deterministic; a mismatch means the baseline is stale and
+// must be regenerated). Wall-clock figures differ across hardware, so
+// the gate checks the dimensionless skip-vs-no-skip speedup instead of
+// ns/op: MemBound rows must keep a speedup of at least 2x, and every
+// other row must stay within ±30% of its baseline speedup. -samples N
+// measures each cell N times and takes the median, damping scheduler
+// noise on shared CI runners.
+//
 //	benchjson                         # all figures -> BENCH_figures.json
 //	benchjson -figures 'MP3D|Ocean'   # subset, same file
 //	benchjson -out /dev/stdout        # print instead of writing
+//	benchjson -gate BENCH_figures.json -samples 3   # CI perf gate
 package main
 
 import (
@@ -19,6 +31,8 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 
 	"cmpsim/internal/benchfig"
@@ -76,11 +90,157 @@ func cyclesPerSec(cycles uint64, nsPerOp int64) float64 {
 	return float64(cycles) / (float64(nsPerOp) * 1e-9)
 }
 
+// medianInt64 returns the median of vs (which must be non-empty).
+func medianInt64(vs []int64) int64 {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs[len(vs)/2]
+}
+
+func medianFloat64(vs []float64) float64 {
+	sort.Float64s(vs)
+	return vs[len(vs)/2]
+}
+
+// measureFigure measures one figure samples times and combines the
+// runs: ns/op per cell is the median across samples, and the speedup is
+// the median of the per-sample skip/no-skip ratios — each ratio pairs
+// two back-to-back runs, so load common to both cancels out instead of
+// skewing the quotient of two independently-noisy medians. Sim cycles
+// must be identical across every sample — they are deterministic, and a
+// drift here is a simulator bug worth dying on.
+func measureFigure(f benchfig.Figure, samples int) (figureRow, error) {
+	var skipNs, noSkipNs []int64
+	var ratios []float64
+	var cycles uint64
+	for s := 0; s < samples; s++ {
+		skip, c, err := benchFigure(f, false)
+		if err != nil {
+			return figureRow{}, err
+		}
+		ref, _, err := benchFigure(f, true)
+		if err != nil {
+			return figureRow{}, err
+		}
+		if s > 0 && c != cycles {
+			return figureRow{}, fmt.Errorf("non-deterministic sim cycles across samples: %d vs %d", c, cycles)
+		}
+		cycles = c
+		skipNs = append(skipNs, skip.NsPerOp())
+		noSkipNs = append(noSkipNs, ref.NsPerOp())
+		if ns := skip.NsPerOp(); ns > 0 {
+			ratios = append(ratios, float64(ref.NsPerOp())/float64(ns))
+		}
+	}
+	row := figureRow{
+		Name:           f.Name,
+		Model:          string(f.Model),
+		SimCyclesPerOp: cycles,
+		SkipNsPerOp:    medianInt64(skipNs),
+		NoSkipNsPerOp:  medianInt64(noSkipNs),
+	}
+	row.SkipSimCyclesPerS = cyclesPerSec(cycles, row.SkipNsPerOp)
+	row.NoSkipSimCyclesPerS = cyclesPerSec(cycles, row.NoSkipNsPerOp)
+	if len(ratios) > 0 {
+		row.Speedup = medianFloat64(ratios)
+	}
+	return row, nil
+}
+
+// gate tolerances. MemBound rows exist precisely to prove the
+// quiescence-skipping scheduler earns its keep on latency-dominated
+// configurations; the default rows only guard against the skip
+// machinery itself regressing, so they get a wide hardware-tolerant
+// band around the baseline's dimensionless speedup.
+const (
+	gateMemBoundMinSpeedup = 2.0
+	gateSpeedupTolerance   = 0.30
+)
+
+// runGate re-measures every figure of the baseline and applies the
+// gate rules. Returns false if any row fails.
+func runGate(baseline report, samples int) bool {
+	base := map[string]figureRow{}
+	for _, row := range baseline.Figures {
+		base[row.Name] = row
+	}
+	pass := true
+	fail := func(name, format string, args ...any) {
+		pass = false
+		fmt.Fprintf(os.Stderr, "benchjson: gate FAIL %s: %s\n", name, fmt.Sprintf(format, args...))
+	}
+	seen := map[string]bool{}
+	for _, f := range benchfig.Figures() {
+		b, ok := base[f.Name]
+		if !ok {
+			fail(f.Name, "not in the baseline (regenerate BENCH_figures.json)")
+			continue
+		}
+		seen[f.Name] = true
+		row, err := measureFigure(f, samples)
+		if err != nil {
+			fail(f.Name, "%v", err)
+			continue
+		}
+		status := "ok"
+		switch {
+		case row.SimCyclesPerOp != b.SimCyclesPerOp:
+			fail(f.Name, "sim cycles changed: %d -> %d (simulation output moved; regenerate the baseline deliberately)",
+				b.SimCyclesPerOp, row.SimCyclesPerOp)
+			status = "FAIL"
+		case strings.Contains(f.Name, "MemBound"):
+			if row.Speedup < gateMemBoundMinSpeedup {
+				fail(f.Name, "skip speedup %.2fx below the %.1fx floor (baseline %.2fx)",
+					row.Speedup, gateMemBoundMinSpeedup, b.Speedup)
+				status = "FAIL"
+			}
+		default:
+			lo := b.Speedup * (1 - gateSpeedupTolerance)
+			hi := b.Speedup * (1 + gateSpeedupTolerance)
+			if row.Speedup < lo || row.Speedup > hi {
+				fail(f.Name, "skip speedup %.2fx outside ±%.0f%% of baseline %.2fx [%.2f, %.2f]",
+					row.Speedup, 100*gateSpeedupTolerance, b.Speedup, lo, hi)
+				status = "FAIL"
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-22s %12d sim-cycles  speedup %.2fx (baseline %.2fx)  %s\n",
+			f.Name, row.SimCyclesPerOp, row.Speedup, b.Speedup, status)
+	}
+	for _, row := range baseline.Figures {
+		if !seen[row.Name] {
+			fail(row.Name, "in the baseline but no longer measured (regenerate BENCH_figures.json)")
+		}
+	}
+	return pass
+}
+
 func main() {
 	out := flag.String("out", "BENCH_figures.json", "output path")
 	figures := flag.String("figures", "", "regexp selecting figure names (\"\" = all)")
 	verbose := flag.Bool("v", true, "print a progress line per figure on stderr")
+	gatePath := flag.String("gate", "", "CI gate mode: compare fresh measurements against this baseline file and exit non-zero on regression (writes nothing)")
+	samples := flag.Int("samples", 1, "measure each cell N times and keep the median ns/op")
 	flag.Parse()
+	if *samples < 1 {
+		*samples = 1
+	}
+
+	if *gatePath != "" {
+		data, err := os.ReadFile(*gatePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var baseline report
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *gatePath, err)
+			os.Exit(1)
+		}
+		if !runGate(baseline, *samples) {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: gate passed")
+		return
+	}
 
 	var sel *regexp.Regexp
 	if *figures != "" {
@@ -102,33 +262,15 @@ func main() {
 		if sel != nil && !sel.MatchString(f.Name) {
 			continue
 		}
-		skip, cycles, err := benchFigure(f, false)
-		if err == nil {
-			var ref testing.BenchmarkResult
-			ref, _, err = benchFigure(f, true)
-			if err == nil {
-				row := figureRow{
-					Name:                f.Name,
-					Model:               string(f.Model),
-					SimCyclesPerOp:      cycles,
-					SkipNsPerOp:         skip.NsPerOp(),
-					SkipSimCyclesPerS:   cyclesPerSec(cycles, skip.NsPerOp()),
-					NoSkipNsPerOp:       ref.NsPerOp(),
-					NoSkipSimCyclesPerS: cyclesPerSec(cycles, ref.NsPerOp()),
-				}
-				if row.SkipNsPerOp > 0 {
-					row.Speedup = float64(row.NoSkipNsPerOp) / float64(row.SkipNsPerOp)
-				}
-				rep.Figures = append(rep.Figures, row)
-				if *verbose {
-					fmt.Fprintf(os.Stderr, "%-22s %12d sim-cycles  skip %10dns/op  no-skip %10dns/op  %.2fx\n",
-						f.Name, row.SimCyclesPerOp, row.SkipNsPerOp, row.NoSkipNsPerOp, row.Speedup)
-				}
-			}
-		}
+		row, err := measureFigure(f, *samples)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", f.Name, err)
 			os.Exit(1)
+		}
+		rep.Figures = append(rep.Figures, row)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%-22s %12d sim-cycles  skip %10dns/op  no-skip %10dns/op  %.2fx\n",
+				f.Name, row.SimCyclesPerOp, row.SkipNsPerOp, row.NoSkipNsPerOp, row.Speedup)
 		}
 	}
 

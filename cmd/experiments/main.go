@@ -36,6 +36,7 @@ import (
 	"cmpsim/internal/prof"
 	"cmpsim/internal/runner"
 	"cmpsim/internal/stats"
+	"cmpsim/internal/telemetry"
 	"cmpsim/internal/workload"
 )
 
@@ -55,6 +56,10 @@ var obsvFlags obsvOpts
 // noSkipFlag disables quiescence skipping in every dispatched run; the
 // skip regression suite uses it to prove output-identical behavior.
 var noSkipFlag bool
+
+// telemSim, when host telemetry is enabled, is the campaign-wide
+// cycle-loop instrument panel shared by every dispatched job.
+var telemSim *telemetry.SimMetrics
 
 // fatalf is the single exit path for run and sink failures: nothing is
 // printed-and-continued, so CI sees a non-zero exit on any broken cell.
@@ -88,6 +93,7 @@ func (g *grid) addJob(wlName string, quick bool, arch core.Arch, model core.CPUM
 		variant = "quick"
 	}
 	cfg.NoSkip = noSkipFlag
+	cfg.Telem = telemSim
 	job := runner.Job{
 		Workload: func() (workload.Workload, error) {
 			if quick {
@@ -139,15 +145,28 @@ func main() {
 	flag.StringVar(&obsvFlags.profOut, "prof-out", "", "write per-run cycle-attribution profiles as JSON (cmd/simprof -in); the run tag is spliced into this filename")
 	progress := flag.Bool("progress", false, "print per-job completion lines (wall time, cache status) on stderr; stdout is unaffected")
 	flag.BoolVar(&noSkipFlag, "no-skip", false, "disable quiescence skipping in the cycle loop (slower; output is identical)")
+	var telem telemetry.Flags
+	telem.Register()
+	telem.RegisterReport()
 	flag.Parse()
 
 	start := time.Now()
 	table1()
 	table2()
 
+	set, err := telem.Start()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer telem.Close()
+
 	pool := &runner.Pool{Workers: *jobs}
 	if *progress {
 		pool.Progress = os.Stderr
+	}
+	if set != nil {
+		pool.Telem = set.Runner
+		telemSim = set.Sim
 	}
 	if *cacheDir != "" {
 		cache, err := runner.OpenCache(*cacheDir)

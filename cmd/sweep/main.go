@@ -28,6 +28,7 @@ import (
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/runner"
+	"cmpsim/internal/telemetry"
 	"cmpsim/internal/workload"
 )
 
@@ -71,6 +72,9 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-job completion lines (wall time, cache status) on stderr; stdout is unaffected")
 	list := flag.Bool("params", false, "list sweepable parameters")
 	noSkip := flag.Bool("no-skip", false, "disable quiescence skipping in the cycle loop (slower; output is identical)")
+	var telem telemetry.Flags
+	telem.Register()
+	telem.RegisterReport()
 	flag.Parse()
 
 	if *list {
@@ -94,9 +98,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	set, err := telem.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	defer telem.Close()
+
 	pool := &runner.Pool{Workers: *jobs}
 	if *progress {
 		pool.Progress = os.Stderr
+	}
+	if set != nil {
+		pool.Telem = set.Runner
 	}
 	if *cacheDir != "" {
 		cache, err := runner.OpenCache(*cacheDir)
@@ -118,6 +132,9 @@ func main() {
 		cfg := memsys.DefaultConfig()
 		p.set(&cfg, v)
 		cfg.NoSkip = *noSkip
+		if set != nil {
+			cfg.Telem = set.Sim
+		}
 		name := *wlName
 		points = append(points, v)
 		sweepJobs = append(sweepJobs, runner.Job{

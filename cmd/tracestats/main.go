@@ -6,6 +6,7 @@
 //
 //	cmpsim -workload eqntott -arch shared-l2 -trace-out run.jsonl
 //	tracestats -n 10 run.jsonl
+//	gzip -dc run.jsonl.gz | tracestats -      # "-" or no arg = stdin
 package main
 
 import (
@@ -22,9 +23,12 @@ func main() {
 	topN := flag.Int("n", 10, "show the top N entries of each table")
 	flag.Parse()
 
+	// "-" (or no argument) reads the trace from stdin, so tracestats
+	// composes with streamed pipelines (decompressors, remote copies):
+	//   gzip -dc run.jsonl.gz | tracestats -
 	var in io.Reader = os.Stdin
 	name := "stdin"
-	if flag.NArg() > 0 {
+	if flag.NArg() > 0 && flag.Arg(0) != "-" {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracestats:", err)

@@ -368,6 +368,17 @@ func (m *Machine) RunWindow(start, n uint64) (next uint64, halted bool, err erro
 	noSkip := m.Cfg.NoSkip
 	end := start + n
 	cyc := start
+	// Host telemetry: executed iterations accumulate locally and flush
+	// to the shared atomic counters in batches, so the per-cycle cost of
+	// enabled telemetry is one branch and one register increment, and
+	// the disabled path is the nil check alone. Skipped cycles flush as
+	// deltas of m.skipped so the counters stay live mid-window.
+	tel := m.Cfg.Telem
+	var telTicked uint64
+	telSkipBase := m.skipped
+	if tel != nil {
+		tel.Windows.Inc()
+	}
 	for cyc < end {
 		m.Events.RunUntil(cyc)
 		alive := false
@@ -401,6 +412,23 @@ func (m *Machine) RunWindow(start, n uint64) (next uint64, halted bool, err erro
 			cyc++
 		} else {
 			cyc = m.nextCycle(cyc, end, mets)
+		}
+		if tel != nil {
+			telTicked++
+			if telTicked >= 1<<20 {
+				tel.CyclesTicked.Add(telTicked)
+				telTicked = 0
+				if sk := m.skipped; sk > telSkipBase {
+					tel.CyclesSkipped.Add(sk - telSkipBase)
+					telSkipBase = sk
+				}
+			}
+		}
+	}
+	if tel != nil {
+		tel.CyclesTicked.Add(telTicked)
+		if sk := m.skipped; sk > telSkipBase {
+			tel.CyclesSkipped.Add(sk - telSkipBase)
 		}
 	}
 	for _, c := range m.CPUs {

@@ -1,0 +1,117 @@
+package core
+
+// Host-telemetry tests for the cycle loop: the ticked+skipped
+// reconciliation invariant and the zero-alloc contract of the
+// instrumented loop, disabled and enabled.
+
+import (
+	"testing"
+
+	"cmpsim/internal/cpu"
+	"cmpsim/internal/telemetry"
+)
+
+// quietCore is a stub core whose Tick never allocates (unlike
+// stubCore, which appends to a shared log), so it can sit under
+// testing.AllocsPerRun: runnable every cycle once past blockedUntil,
+// halting when ticked at or after haltAt.
+type quietCore struct {
+	blockedUntil uint64
+	haltAt       uint64 // halt when ticked at or after this cycle (0 = never)
+	halted       bool
+	ctx          cpu.Context
+}
+
+func (s *quietCore) Tick(now uint64) uint64 {
+	if !s.halted && now >= s.blockedUntil {
+		if s.haltAt != 0 && now >= s.haltAt {
+			s.halted = true
+			s.ctx.Halted = true
+		}
+	}
+	return s.NextWork(now)
+}
+
+func (s *quietCore) Done() bool            { return s.halted }
+func (s *quietCore) Stats() cpu.StallStats { return cpu.StallStats{} }
+func (s *quietCore) Context() *cpu.Context { return &s.ctx }
+func (s *quietCore) FlushFetchBuffer()     {}
+func (s *quietCore) NextWork(now uint64) uint64 {
+	if s.halted {
+		return cpu.NoWork
+	}
+	if s.blockedUntil > now {
+		return s.blockedUntil
+	}
+	return now
+}
+
+// TestRunWindowTelemetryReconciles pins the reconciliation invariant
+// the run report and the /metrics smoke test rely on: for a window
+// starting at cycle 0, executed iterations + skipped cycles == the
+// final cycle count, with the skipped total matching the scheduler's
+// own ledger.
+func TestRunWindowTelemetryReconciles(t *testing.T) {
+	tel := &telemetry.SimMetrics{}
+	a := &quietCore{blockedUntil: 1000, haltAt: 1010}
+	b := &quietCore{haltAt: 5}
+	m := &Machine{}
+	m.CPUs = append(m.CPUs, a, b)
+	m.Cfg.Telem = tel
+
+	next, halted, err := m.RunWindow(0, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted {
+		t.Fatalf("machine did not halt (next=%d)", next)
+	}
+	ticked, skipped := tel.CyclesTicked.Value(), tel.CyclesSkipped.Value()
+	if ticked+skipped != next {
+		t.Errorf("ticked %d + skipped %d = %d, want final cycle %d",
+			ticked, skipped, ticked+skipped, next)
+	}
+	if skipped != m.SkippedCycles() {
+		t.Errorf("telemetry skipped %d != scheduler ledger %d", skipped, m.SkippedCycles())
+	}
+	if skipped == 0 {
+		t.Error("expected a quiescence skip across the blocked window")
+	}
+	if got := tel.Windows.Value(); got != 1 {
+		t.Errorf("Windows = %d, want 1", got)
+	}
+	if got := tel.Cycles(); got != next {
+		t.Errorf("Cycles() = %d, want %d", got, next)
+	}
+}
+
+// TestRunWindowTelemetryAllocs pins the cycle loop's allocation
+// contract with telemetry disabled (nil pointer: the historical
+// behavior) and enabled (batched atomic flushes): zero allocations per
+// window either way.
+func TestRunWindowTelemetryAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tel  *telemetry.SimMetrics
+	}{
+		{"disabled", nil},
+		{"enabled", &telemetry.SimMetrics{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := &Machine{}
+			m.CPUs = append(m.CPUs, &quietCore{})
+			m.Cfg.Telem = tc.tel
+			var start uint64
+			allocs := testing.AllocsPerRun(10, func() {
+				next, _, err := m.RunWindow(start, 1000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				start = next
+			})
+			if allocs != 0 {
+				t.Errorf("RunWindow with telemetry %s: %v allocs/window, want 0", tc.name, allocs)
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"cmpsim/internal/interconnect"
 	"cmpsim/internal/obsv"
 	"cmpsim/internal/prof"
+	"cmpsim/internal/telemetry"
 )
 
 // Note on cycle arithmetic: latency computations in the compositions go
@@ -175,6 +176,16 @@ type Config struct {
 	// Config copy feeds one collector; like Trace, a non-nil profiler
 	// makes a runner job uncacheable.
 	Prof *prof.Profiler
+
+	// Telem, when non-nil, feeds the core cycle loop's host-side
+	// telemetry counters (ticked/skipped cycles, window counts) in
+	// internal/telemetry. Unlike the guest-observability attachments
+	// above it never influences simulation output and never contributes
+	// to the cache key, so a campaign shares one instance across all
+	// jobs — cached and simulated alike — without bypassing the result
+	// cache. Leave nil for normal runs; the disabled fast path is a
+	// single pointer check per executed cycle.
+	Telem *telemetry.SimMetrics
 
 	// NoSkip disables the core loop's quiescence skipping (cmpsim
 	// -no-skip), forcing every cycle to be ticked as before the

@@ -20,11 +20,14 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"cmpsim/internal/core"
 	"cmpsim/internal/memsys"
+	"cmpsim/internal/obsv"
+	"cmpsim/internal/telemetry"
 	"cmpsim/internal/workload"
 )
 
@@ -87,8 +90,16 @@ type Pool struct {
 	// itself is unaffected.
 	Progress io.Writer
 
-	mu   sync.Mutex // guards done (Progress lines from worker goroutines)
-	done int
+	// Telem, when non-nil, receives host-side pool metrics: job
+	// lifecycle counters, queue depth, per-worker busy time, cache
+	// effectiveness, attachment counts, and per-job wall-clock records
+	// for the end-of-campaign run report. Every update site is
+	// nil-guarded, so the disabled path costs one pointer check.
+	Telem *telemetry.RunnerMetrics
+
+	mu      sync.Mutex // guards done (Progress lines from worker goroutines)
+	done    int
+	started time.Time // start of the current Run, for progress rate/ETA
 }
 
 // Run executes every job and returns their results in job order.
@@ -105,6 +116,7 @@ func (p *Pool) Run(jobs []Job) []Result {
 	}
 	p.mu.Lock()
 	p.done = 0
+	p.started = time.Now()
 	p.mu.Unlock()
 	workers := p.Workers
 	if workers <= 0 {
@@ -113,9 +125,14 @@ func (p *Pool) Run(jobs []Job) []Result {
 	if workers > n {
 		workers = n
 	}
+	if t := p.Telem; t != nil {
+		t.JobsTotal.Add(uint64(n))
+		t.QueueDepth.Add(int64(n))
+		t.Workers.Set(int64(workers))
+	}
 	if workers == 1 {
 		for i := range jobs {
-			results[i] = p.runJob(n, &jobs[i])
+			results[i] = p.runJob(n, 0, &jobs[i])
 		}
 		return results
 	}
@@ -128,11 +145,11 @@ func (p *Pool) Run(jobs []Job) []Result {
 	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			for i := range next {
-				out[i] <- p.runJob(n, &jobs[i])
+				out[i] <- p.runJob(n, worker, &jobs[i])
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		for i := 0; i < n; i++ {
@@ -146,10 +163,36 @@ func (p *Pool) Run(jobs []Job) []Result {
 	return results
 }
 
-// runJob executes one job and reports its completion to Progress.
-func (p *Pool) runJob(total int, job *Job) Result {
+// runJob executes one job, reports its completion to Progress, and
+// feeds the pool telemetry.
+func (p *Pool) runJob(total, worker int, job *Job) Result {
+	t := p.Telem
+	if t != nil {
+		t.JobsStarted.Inc()
+		t.QueueDepth.Add(-1)
+	}
 	start := time.Now()
 	res := p.execJob(job)
+	wall := time.Since(start)
+	if t != nil {
+		t.JobsCompleted.Inc()
+		if res.Err != nil {
+			t.JobsFailed.Inc()
+		}
+		t.JobSeconds.Observe(wall.Seconds())
+		t.WorkerBusy.With(strconv.Itoa(worker)).Add(uint64(wall.Nanoseconds()))
+		var cycles uint64
+		if res.Res != nil {
+			cycles = res.Res.Cycles
+		}
+		t.RecordJob(telemetry.JobRecord{
+			Tag:       job.Tag,
+			Seconds:   wall.Seconds(),
+			SimCycles: cycles,
+			Cached:    res.Cached,
+			Failed:    res.Err != nil,
+		})
+	}
 	if p.Progress != nil {
 		status := ""
 		switch {
@@ -158,10 +201,23 @@ func (p *Pool) runJob(total int, job *Job) Result {
 		case res.Cached:
 			status = " (cached)"
 		}
+		// Count and print under one lock so the [k/n] numbering matches
+		// the line order even when workers finish simultaneously.
 		p.mu.Lock()
 		p.done++
-		fmt.Fprintf(p.Progress, "[%d/%d] %s %s%s\n",
-			p.done, total, job.Tag, time.Since(start).Round(time.Millisecond), status)
+		elapsed := time.Since(p.started)
+		rate := 0.0
+		if es := elapsed.Seconds(); es > 0 {
+			rate = float64(p.done) / es
+		}
+		eta := "?"
+		if rate > 0 {
+			eta = time.Duration(float64(total-p.done) / rate * float64(time.Second)).
+				Round(100 * time.Millisecond).String()
+		}
+		fmt.Fprintf(p.Progress, "[%d/%d] %s %s%s | %s elapsed, %.1f jobs/s, eta %s\n",
+			p.done, total, job.Tag, wall.Round(time.Millisecond), status,
+			elapsed.Round(100*time.Millisecond), rate, eta)
 		p.mu.Unlock()
 	}
 	return res
@@ -169,13 +225,40 @@ func (p *Pool) runJob(total int, job *Job) Result {
 
 // execJob executes one job: cache probe, simulate on miss, fill.
 func (p *Pool) execJob(job *Job) Result {
+	t := p.Telem
+	if t != nil {
+		// Attachment accounting: jobs carrying guest observability run
+		// slower and bypass the cache, so they are tallied separately.
+		if job.Cfg.Trace != nil {
+			t.JobsTraced.Inc()
+		}
+		if job.Cfg.Metrics != nil {
+			t.JobsSampled.Inc()
+		}
+		if job.Cfg.Prof != nil {
+			t.JobsProfiled.Inc()
+		}
+		if job.Cfg.Check != nil {
+			t.JobsChecked.Inc()
+		}
+	}
 	var key string
 	cacheable := p.Cache != nil && Cacheable(job)
 	if cacheable {
 		key = Key(job)
 		res, ok, err := p.Cache.Get(key)
 		if err != nil {
+			if t != nil {
+				t.CacheCorrupt.Inc()
+			}
 			return Result{Err: fmt.Errorf("runner: %s: cache read: %w", job.Tag, err)}
+		}
+		if t != nil {
+			if ok {
+				t.CacheHits.Inc()
+			} else {
+				t.CacheMisses.Inc()
+			}
 		}
 		if ok {
 			return Result{Res: res, Cached: true}
@@ -187,6 +270,14 @@ func (p *Pool) execJob(job *Job) Result {
 	}
 	cfg := job.Cfg
 	res, err := workload.Run(w, job.Arch, job.Model, &cfg)
+	if t != nil {
+		// Trace overhead accounting: when the job's tracer is a plain
+		// ring, fold its emit/drop totals into the campaign counters.
+		if ring, ok := job.Cfg.Trace.(*obsv.Ring); ok && ring != nil {
+			t.TraceEvents.Add(ring.Emitted())
+			t.TraceDropped.Add(ring.Dropped())
+		}
+	}
 	if err != nil {
 		return Result{Err: fmt.Errorf("runner: %s: %w", job.Tag, err)}
 	}

@@ -1,0 +1,135 @@
+package runner
+
+// Pool telemetry tests: counter bookkeeping across cached and
+// simulated jobs, reconciliation between the scheduler counters and
+// the merged results, output-neutrality of enabled telemetry, and the
+// upgraded progress line format.
+
+import (
+	"bytes"
+	"reflect"
+	"regexp"
+	"testing"
+
+	"cmpsim/internal/telemetry"
+)
+
+// TestPoolTelemetryCounts runs the quick grid twice against one cache
+// and checks every pool counter: the first pass is all misses, the
+// second all hits, and the scheduler's ticked+skipped cycles reconcile
+// with the cycle counts of the simulated (non-cached) results.
+func TestPoolTelemetryCounts(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := telemetry.New()
+	jobs := smallGrid()
+	for i := range jobs {
+		jobs[i].Cfg.Telem = set.Sim
+	}
+	pool := &Pool{Workers: 4, Cache: cache, Telem: set.Runner}
+
+	first := pool.Run(jobs)
+	if err := FirstErr(first); err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(len(jobs))
+	if got := set.Runner.CacheMisses.Value(); got != n {
+		t.Errorf("first pass: CacheMisses = %d, want %d", got, n)
+	}
+	if got := set.Runner.CacheHits.Value(); got != 0 {
+		t.Errorf("first pass: CacheHits = %d, want 0", got)
+	}
+	var simulated uint64
+	for _, r := range first {
+		simulated += r.Res.Cycles
+	}
+	if got := set.Sim.Cycles(); got != simulated {
+		t.Errorf("scheduler cycles %d != sum of simulated results %d", got, simulated)
+	}
+
+	second := pool.Run(jobs)
+	if err := FirstErr(second); err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Runner.CacheHits.Value(); got != n {
+		t.Errorf("second pass: CacheHits = %d, want %d", got, n)
+	}
+	if got := set.Sim.Cycles(); got != simulated {
+		t.Errorf("cached pass advanced scheduler cycles: %d != %d", got, simulated)
+	}
+	if got := set.Runner.JobsTotal.Value(); got != 2*n {
+		t.Errorf("JobsTotal = %d, want %d", got, 2*n)
+	}
+	if got := set.Runner.JobsCompleted.Value(); got != 2*n {
+		t.Errorf("JobsCompleted = %d, want %d", got, 2*n)
+	}
+	if got := set.Runner.JobsStarted.Value(); got != 2*n {
+		t.Errorf("JobsStarted = %d, want %d", got, 2*n)
+	}
+	if got := set.Runner.JobsFailed.Value(); got != 0 {
+		t.Errorf("JobsFailed = %d, want 0", got)
+	}
+	if got := set.Runner.QueueDepth.Value(); got != 0 {
+		t.Errorf("QueueDepth = %d, want 0 after both runs drained", got)
+	}
+	if got := set.Runner.JobSeconds.Count(); got != 2*n {
+		t.Errorf("JobSeconds.Count = %d, want %d", got, 2*n)
+	}
+	recs := set.Runner.Jobs()
+	if uint64(len(recs)) != 2*n {
+		t.Fatalf("job records = %d, want %d", len(recs), 2*n)
+	}
+	var cached int
+	for _, r := range recs {
+		if r.Cached {
+			cached++
+		}
+	}
+	if uint64(cached) != n {
+		t.Errorf("cached job records = %d, want %d", cached, n)
+	}
+}
+
+// TestTelemetryDoesNotChangeResults pins the host-telemetry contract:
+// an instrumented run returns bit-identical results to a bare one.
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	bare := (&Pool{Workers: 2}).Run(smallGrid())
+
+	set := telemetry.New()
+	jobs := smallGrid()
+	for i := range jobs {
+		jobs[i].Cfg.Telem = set.Sim
+	}
+	instrumented := (&Pool{Workers: 2, Telem: set.Runner}).Run(jobs)
+
+	if len(bare) != len(instrumented) {
+		t.Fatalf("result counts differ: %d vs %d", len(bare), len(instrumented))
+	}
+	for i := range bare {
+		if !reflect.DeepEqual(bare[i].Res, instrumented[i].Res) {
+			t.Errorf("job %d: telemetry changed the simulation result", i)
+		}
+	}
+}
+
+// TestProgressLineFormat pins the upgraded progress line: per-job wall
+// clock plus campaign elapsed time, completion rate and ETA.
+func TestProgressLineFormat(t *testing.T) {
+	var buf bytes.Buffer
+	pool := &Pool{Workers: 2, Progress: &buf}
+	if err := FirstErr(pool.Run(smallGrid()[:2])); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("progress lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	re := regexp.MustCompile(`^\[\d/2\] \S+ [0-9.]+m?s \| [0-9.]+m?s elapsed, \d+\.\d jobs/s, eta \S+$`)
+	for _, line := range lines {
+		if !re.Match(line) {
+			t.Errorf("progress line %q does not match %v", line, re)
+		}
+	}
+}

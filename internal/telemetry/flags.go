@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Flags is the shared driver glue: each cmd embeds one, registers the
+// telemetry flags, calls Start after flag.Parse, points pool/config
+// Telem fields at the returned Set, and defers Close. Keeping the
+// lifecycle here means all four drivers expose identical flags and
+// identical behavior.
+type Flags struct {
+	Addr     string
+	Out      string
+	Interval time.Duration
+
+	Report    bool
+	ReportOut string
+
+	set     *Set
+	srv     *Server
+	hb      *HeartbeatWriter
+	outFile *os.File
+}
+
+// Register adds the telemetry flags to the default flag set.
+func (f *Flags) Register() {
+	flag.StringVar(&f.Addr, "telemetry-addr", "",
+		"serve live host telemetry on this address: /metrics (Prometheus text), /debug/pprof, /debug/vars (use :0 for an ephemeral port)")
+	flag.StringVar(&f.Out, "telemetry-out", "",
+		"append periodic JSONL heartbeats (progress, ETA, throughput) to this file; \"-\" writes to stderr")
+	flag.DurationVar(&f.Interval, "telemetry-interval", 10*time.Second,
+		"heartbeat interval for -telemetry-out")
+}
+
+// RegisterReport adds the end-of-campaign report flags (campaign
+// drivers only: cmd/experiments and cmd/sweep).
+func (f *Flags) RegisterReport() {
+	flag.BoolVar(&f.Report, "run-report", false,
+		"print a deterministic end-of-campaign run report to stderr")
+	flag.StringVar(&f.ReportOut, "run-report-out", "",
+		"write the end-of-campaign run report as JSON to this file")
+}
+
+// Enabled reports whether any telemetry output was requested. When
+// false, drivers leave every Telem pointer nil and instrumented code
+// stays on its zero-cost disabled path.
+func (f *Flags) Enabled() bool {
+	return f.Addr != "" || f.Out != "" || f.Report || f.ReportOut != ""
+}
+
+// Start creates the Set and starts the requested outputs (HTTP
+// endpoint, heartbeat writer). Returns nil, nil when no telemetry flag
+// was set. The bound HTTP address is announced on stderr so `:0`
+// invocations are scrapable.
+func (f *Flags) Start() (*Set, error) {
+	if !f.Enabled() {
+		return nil, nil
+	}
+	f.set = New()
+	if f.Addr != "" {
+		srv, err := f.set.Serve(f.Addr)
+		if err != nil {
+			return nil, err
+		}
+		f.srv = srv
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr)
+	}
+	if f.Out != "" {
+		w := os.Stderr
+		if f.Out != "-" {
+			file, err := os.OpenFile(f.Out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				f.srv.Close()
+				return nil, fmt.Errorf("telemetry: open %s: %w", f.Out, err)
+			}
+			f.outFile = file
+			w = file
+		}
+		f.hb = f.set.StartHeartbeat(w, f.Interval)
+	}
+	return f.set, nil
+}
+
+// Close stops the heartbeat writer (emitting a final beat), renders
+// the run report if requested, and shuts down the HTTP server. Safe to
+// call when Start was never called or returned nil.
+func (f *Flags) Close() error {
+	if f.set == nil {
+		return nil
+	}
+	f.hb.Stop()
+	if f.outFile != nil {
+		_ = f.outFile.Close()
+	}
+	var firstErr error
+	if f.Report || f.ReportOut != "" {
+		report := f.set.BuildReport(f.set.Elapsed())
+		if f.Report {
+			if err := report.WriteText(os.Stderr); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if f.ReportOut != "" {
+			file, err := os.Create(f.ReportOut)
+			if err == nil {
+				err = report.WriteJSON(file)
+				if cerr := file.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("telemetry: run report: %w", err)
+			}
+		}
+	}
+	if err := f.srv.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

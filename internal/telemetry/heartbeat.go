@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Heartbeat is one periodic JSONL progress line emitted by
+// StartHeartbeat: a compact campaign health snapshot for tailing a log
+// file or feeding a dashboard without scraping /metrics.
+type Heartbeat struct {
+	// Time is the emission wall-clock time, RFC 3339 with millisecond
+	// precision.
+	Time string `json:"time"`
+	// ElapsedSeconds is wall time since the Set was created.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// JobsTotal/JobsDone/JobsFailed are the pool's cumulative counts.
+	JobsTotal  uint64 `json:"jobs_total"`
+	JobsDone   uint64 `json:"jobs_done"`
+	JobsFailed uint64 `json:"jobs_failed,omitempty"`
+	// JobsPerSec is the completion rate over the whole campaign so far.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// ETASeconds estimates time to finish the remaining jobs at the
+	// current completion rate; omitted until at least one job finished.
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
+	// SimCycles is total simulated cycles advanced (ticked + skipped).
+	SimCycles uint64 `json:"sim_cycles"`
+	// SimCyclesPerSec is the *interval* simulation throughput: cycles
+	// advanced since the previous beat over the beat interval.
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	// CacheHits/CacheMisses are the result-cache counters.
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
+}
+
+// beat builds the heartbeat for the current instant. prevCycles and
+// prevTime are the previous beat's cycle count and time, for the
+// interval throughput figure.
+func (s *Set) beat(now time.Time, prevCycles uint64, prevTime time.Time) Heartbeat {
+	elapsed := now.Sub(s.start).Seconds()
+	done := s.Runner.JobsCompleted.Value()
+	total := s.Runner.JobsTotal.Value()
+	cycles := s.Sim.Cycles()
+	hb := Heartbeat{
+		Time:           now.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+		ElapsedSeconds: elapsed,
+		JobsTotal:      total,
+		JobsDone:       done,
+		JobsFailed:     s.Runner.JobsFailed.Value(),
+		SimCycles:      cycles,
+		CacheHits:      s.Runner.CacheHits.Value(),
+		CacheMisses:    s.Runner.CacheMisses.Value(),
+	}
+	if elapsed > 0 {
+		hb.JobsPerSec = float64(done) / elapsed
+	}
+	if done > 0 && total > done && hb.JobsPerSec > 0 {
+		hb.ETASeconds = float64(total-done) / hb.JobsPerSec
+	}
+	if dt := now.Sub(prevTime).Seconds(); dt > 0 && cycles >= prevCycles {
+		hb.SimCyclesPerSec = float64(cycles-prevCycles) / dt
+	}
+	return hb
+}
+
+// HeartbeatWriter emits JSONL heartbeats on a fixed interval until
+// stopped. Created by StartHeartbeat.
+type HeartbeatWriter struct {
+	mu   sync.Mutex
+	w    io.Writer
+	s    *Set
+	stop chan struct{}
+	done chan struct{}
+
+	prevCycles uint64
+	prevTime   time.Time
+}
+
+// StartHeartbeat starts a goroutine writing one JSON heartbeat line to
+// w every interval. Stop emits a final beat and waits for the
+// goroutine to exit. A non-positive interval defaults to 10s.
+func (s *Set) StartHeartbeat(w io.Writer, interval time.Duration) *HeartbeatWriter {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	hw := &HeartbeatWriter{
+		w:        w,
+		s:        s,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		prevTime: time.Now(),
+	}
+	go func() {
+		defer close(hw.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				hw.emit()
+			case <-hw.stop:
+				return
+			}
+		}
+	}()
+	return hw
+}
+
+// emit writes one beat line, tracking interval state under the lock.
+func (hw *HeartbeatWriter) emit() {
+	hw.mu.Lock()
+	defer hw.mu.Unlock()
+	now := time.Now()
+	hb := hw.s.beat(now, hw.prevCycles, hw.prevTime)
+	hw.prevCycles = hb.SimCycles
+	hw.prevTime = now
+	b, err := json.Marshal(hb)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	_, _ = hw.w.Write(b)
+}
+
+// Stop halts the ticker and emits one final beat so the last line
+// always reflects the finished campaign. Safe on a nil receiver; call
+// once.
+func (hw *HeartbeatWriter) Stop() {
+	if hw == nil {
+		return
+	}
+	close(hw.stop)
+	<-hw.done
+	hw.emit()
+}

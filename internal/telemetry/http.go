@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is a live telemetry HTTP endpoint started by Serve. Close
+// shuts it down; Addr reports the bound address (useful with ":0").
+type Server struct {
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Close stops the server immediately. Safe on a nil receiver so
+// drivers can `defer srv.Close()` without caring whether telemetry is
+// enabled.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// expvar.Publish panics on a duplicate name, so the process-global
+// "telemetry" var is published once and reads whichever Set served
+// most recently.
+var (
+	expvarOnce sync.Once
+	activeSet  atomic.Pointer[Set]
+)
+
+// Serve starts an HTTP server on addr exposing the campaign's host
+// telemetry:
+//
+//	/metrics     Prometheus text-format dump of the registry
+//	/debug/pprof host CPU/heap/goroutine profiles (net/http/pprof)
+//	/debug/vars  expvar JSON, including the registry under "telemetry"
+//
+// The handlers are mounted on a private mux, so a driver can hold the
+// default mux for its own use. addr may end in ":0" to bind an
+// ephemeral port; the chosen address is in the returned Server.
+func (s *Set) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			if cur := activeSet.Load(); cur != nil {
+				return cur.Reg.expvarMap()
+			}
+			return map[string]any{}
+		}))
+	})
+	activeSet.Store(s)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Reg.WriteProm(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,257 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// kind discriminates registered metric shapes.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterVec
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindCounterVec:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "?"
+}
+
+// entry is one registered metric.
+type entry struct {
+	name, help string
+	kind       kind
+	c          *Counter
+	g          *Gauge
+	h          *Histogram
+	v          *CounterVec
+}
+
+// Registry names and exposes metrics. Instrument structs own their
+// metrics as plain value fields (so updates are direct atomic ops with
+// no registry involvement) and register each field once at
+// construction; the registry only renders. Registration is
+// mutex-guarded; rendering takes a consistent snapshot under the same
+// lock. Output is sorted by metric name, so two renderings of the same
+// state are byte-identical.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+// add registers one entry, panicking on a duplicate or empty name —
+// both are programmer errors in the fixed metric catalog, not runtime
+// conditions.
+func (r *Registry) add(e entry) {
+	if e.name == "" {
+		panic("telemetry: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[e.name] {
+		panic("telemetry: duplicate metric " + e.name)
+	}
+	r.names[e.name] = true
+	r.entries = append(r.entries, e)
+}
+
+// Counter registers c under name.
+func (r *Registry) Counter(name, help string, c *Counter) {
+	r.add(entry{name: name, help: help, kind: kindCounter, c: c})
+}
+
+// Gauge registers g under name.
+func (r *Registry) Gauge(name, help string, g *Gauge) {
+	r.add(entry{name: name, help: help, kind: kindGauge, g: g})
+}
+
+// Histogram registers h under name and installs its fixed bucket
+// layout (ascending upper bounds).
+func (r *Registry) Histogram(name, help string, bounds []float64, h *Histogram) {
+	h.init(bounds)
+	r.add(entry{name: name, help: help, kind: kindHistogram, h: h})
+}
+
+// CounterVec registers and returns a new labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{label: label, m: map[string]*Counter{}}
+	r.add(entry{name: name, help: help, kind: kindCounterVec, v: v})
+	return v
+}
+
+// sortedEntries copies the entry list sorted by name.
+func (r *Registry) sortedEntries() []entry {
+	r.mu.Lock()
+	es := make([]entry, len(r.entries))
+	copy(es, r.entries)
+	r.mu.Unlock()
+	sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+	return es
+}
+
+// fnum renders a float the way the Prometheus text format expects:
+// shortest round-trip representation.
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePlain writes every metric as sorted "name value" lines —
+// the run report's reconciliation section and the test-friendly dump.
+// Vec members render as name{label="value"}.
+func (r *Registry) WritePlain(w io.Writer) error {
+	for _, e := range r.sortedEntries() {
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.g.Value())
+		case kindHistogram:
+			s := e.h.snapshot()
+			_, err = fmt.Fprintf(w, "%s_count %d\n%s_sum %s\n", e.name, s.Count, e.name, fnum(s.Sum))
+		case kindCounterVec:
+			vals := e.v.snapshot()
+			labels := make([]string, 0, len(vals))
+			for l := range vals {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			for _, l := range labels {
+				if _, err = fmt.Fprintf(w, "%s{%s=%q} %d\n", e.name, e.v.label, l, vals[l]); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, cumulative histogram
+// buckets with le labels, _sum and _count series. Deterministic for a
+// given metric state: metrics sort by name, vec members by label.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, e := range r.sortedEntries() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			e.name, strings.ReplaceAll(e.help, "\n", " "), e.name, e.kind); err != nil {
+			return err
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.g.Value())
+		case kindHistogram:
+			s := e.h.snapshot()
+			var cum uint64
+			for i, c := range s.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = fnum(s.Bounds[i])
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, le, cum); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", e.name, fnum(s.Sum), e.name, s.Count)
+			}
+		case kindCounterVec:
+			vals := e.v.snapshot()
+			labels := make([]string, 0, len(vals))
+			for l := range vals {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			for _, l := range labels {
+				if _, err = fmt.Fprintf(w, "%s{%s=%q} %d\n", e.name, e.v.label, l, vals[l]); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricSnapshot is one metric's point-in-time value in the JSON run
+// report and the expvar dump. Exactly one of Value (counter/gauge),
+// Histogram, or Labels (vec) is populated.
+type MetricSnapshot struct {
+	Name      string             `json:"name"`
+	Kind      string             `json:"kind"`
+	Value     *int64             `json:"value,omitempty"`
+	Counter   *uint64            `json:"count,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+	Labels    map[string]uint64  `json:"labels,omitempty"`
+}
+
+// Snapshot returns every metric's current value, sorted by name.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	es := r.sortedEntries()
+	out := make([]MetricSnapshot, 0, len(es))
+	for _, e := range es {
+		m := MetricSnapshot{Name: e.name, Kind: e.kind.String()}
+		switch e.kind {
+		case kindCounter:
+			v := e.c.Value()
+			m.Counter = &v
+		case kindGauge:
+			v := e.g.Value()
+			m.Value = &v
+		case kindHistogram:
+			s := e.h.snapshot()
+			m.Histogram = &s
+		case kindCounterVec:
+			m.Labels = e.v.snapshot()
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// expvarMap renders the registry as a plain name→value map for the
+// /debug/vars integration.
+func (r *Registry) expvarMap() map[string]any {
+	out := map[string]any{}
+	for _, m := range r.Snapshot() {
+		switch {
+		case m.Counter != nil:
+			out[m.Name] = *m.Counter
+		case m.Value != nil:
+			out[m.Name] = *m.Value
+		case m.Histogram != nil:
+			out[m.Name] = *m.Histogram
+		case m.Labels != nil:
+			out[m.Name] = m.Labels
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// End-to-end test for the host-side telemetry layer: serve the live
+// /metrics endpoint, run a parallel campaign against it, scrape while
+// jobs are in flight, and reconcile the scrapes with the simulation
+// results and the end-of-campaign run report. This is the ISSUE 6
+// acceptance criterion as a hermetic test (`make telemetry-smoke` runs
+// it under the race detector).
+package cmpsim_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"cmpsim"
+	"cmpsim/internal/memsys"
+	"cmpsim/internal/telemetry"
+)
+
+// scrape GETs url and returns (body, content type).
+func scrape(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// promValue extracts an un-labeled sample value from a Prometheus
+// text-format exposition. Returns (0, false) if the metric is absent.
+func promValue(text, name string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+func mustPromValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	v, ok := promValue(text, name)
+	if !ok {
+		t.Fatalf("metric %s not found in /metrics output", name)
+	}
+	return v
+}
+
+// TestTelemetryHTTPSmoke runs a six-job campaign (the eqntott quick
+// workload across all three architectures at two L2 associativities)
+// with the telemetry endpoint live, scraping /metrics concurrently with
+// the workers. Mid-flight scrapes must be internally consistent and
+// monotone; the final scrape must reconcile exactly with the summed
+// simulation results and with BuildReport.
+func TestTelemetryHTTPSmoke(t *testing.T) {
+	set := telemetry.New()
+	srv, err := set.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	var jobs []cmpsim.Job
+	for _, assoc := range []uint32{1, 2} {
+		for _, arch := range cmpsim.Architectures() {
+			cfg := memsys.DefaultConfig()
+			cfg.L2Assoc = assoc
+			cfg.Telem = set.Sim
+			jobs = append(jobs, cmpsim.Job{
+				Workload: func() (cmpsim.Workload, error) { return eqntottSmall(), nil },
+				Arch:     arch,
+				Model:    cmpsim.ModelMipsy,
+				Cfg:      cfg,
+				Tag:      fmt.Sprintf("%s-assoc%d", arch, assoc),
+			})
+		}
+	}
+	n := uint64(len(jobs))
+	pool := &cmpsim.RunnerPool{Workers: 4, Telem: set.Runner}
+
+	done := make(chan []cmpsim.JobResult, 1)
+	go func() { done <- pool.Run(jobs) }()
+
+	// Scrape until the campaign finishes. Counters only ever grow, so
+	// every mid-flight observation must be bounded by the job count and
+	// monotone against the previous scrape.
+	var results []cmpsim.JobResult
+	scrapes := 0
+	var prevStarted, prevCycles float64
+	for results == nil {
+		body, ctype := scrape(t, base+"/metrics")
+		scrapes++
+		if !strings.HasPrefix(ctype, "text/plain") {
+			t.Fatalf("/metrics content type = %q, want text/plain", ctype)
+		}
+		started := mustPromValue(t, body, "sim_jobs_started_total")
+		ticked := mustPromValue(t, body, "sim_cycles_ticked_total")
+		skipped := mustPromValue(t, body, "sim_cycles_skipped_total")
+		if started < prevStarted || ticked+skipped < prevCycles {
+			t.Fatalf("scrape %d went backwards: started %v->%v, cycles %v->%v",
+				scrapes, prevStarted, started, prevCycles, ticked+skipped)
+		}
+		if started > float64(n) {
+			t.Fatalf("sim_jobs_started_total = %v, but only %d jobs exist", started, n)
+		}
+		prevStarted, prevCycles = started, ticked+skipped
+		select {
+		case results = <-done:
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if scrapes < 1 {
+		t.Fatal("never scraped the live endpoint")
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d (%s): %v", i, jobs[i].Tag, r.Err)
+		}
+	}
+
+	// Final scrape: the endpoint must agree exactly with the simulation
+	// results (every job ran uncached, so scheduler cycles reconcile
+	// with the summed per-run cycle counts) and with the run report.
+	body, _ := scrape(t, base+"/metrics")
+	var simulated uint64
+	for _, r := range results {
+		simulated += r.Res.Cycles
+	}
+	ticked := uint64(mustPromValue(t, body, "sim_cycles_ticked_total"))
+	skipped := uint64(mustPromValue(t, body, "sim_cycles_skipped_total"))
+	if ticked+skipped != simulated {
+		t.Errorf("/metrics cycles ticked+skipped = %d+%d = %d, want sum of results %d",
+			ticked, skipped, ticked+skipped, simulated)
+	}
+	if got := uint64(mustPromValue(t, body, "sim_jobs_completed_total")); got != n {
+		t.Errorf("sim_jobs_completed_total = %d, want %d", got, n)
+	}
+	if got := uint64(mustPromValue(t, body, "sim_jobs_failed_total")); got != 0 {
+		t.Errorf("sim_jobs_failed_total = %d, want 0", got)
+	}
+	if got := mustPromValue(t, body, "sim_job_queue_depth"); got != 0 {
+		t.Errorf("sim_job_queue_depth = %v, want 0 after drain", got)
+	}
+	if got := uint64(mustPromValue(t, body, "sim_job_wall_seconds_count")); got != n {
+		t.Errorf("sim_job_wall_seconds_count = %d, want %d", got, n)
+	}
+
+	rep := set.BuildReport(set.Elapsed())
+	if rep.SimCyclesTicked != ticked || rep.SimCyclesSkipped != skipped {
+		t.Errorf("run report cycles %d/%d disagree with final scrape %d/%d",
+			rep.SimCyclesTicked, rep.SimCyclesSkipped, ticked, skipped)
+	}
+	if rep.JobsCompleted != n || uint64(len(rep.Jobs)) != n {
+		t.Errorf("run report has %d completed / %d records, want %d", rep.JobsCompleted, len(rep.Jobs), n)
+	}
+
+	// The sibling debug surfaces must be mounted too.
+	vars, _ := scrape(t, base+"/debug/vars")
+	if !strings.Contains(vars, `"telemetry"`) {
+		t.Error("/debug/vars does not publish the telemetry registry")
+	}
+	pprofIdx, _ := scrape(t, base+"/debug/pprof/")
+	if !strings.Contains(pprofIdx, "goroutine") {
+		t.Error("/debug/pprof/ index does not list the goroutine profile")
+	}
+}
