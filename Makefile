@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet lint test race smoke race-smoke bench bench-gate bench-trace telemetry-smoke clean
+.PHONY: all build check vet lint lint-baseline test race smoke race-smoke bench bench-gate bench-trace telemetry-smoke clean
 
 all: build
 
@@ -18,10 +18,20 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project's own go/types-based analyzers (determinism,
-# cycleflow, hotalloc, statreg) over the whole module. See
+# cycleflow, hotalloc, statreg, sharedmut, neutral, cachekey) over the
+# whole module, emitting SARIF for code scanning and the sharedmut
+# ownership classification alongside the terminal findings. See
 # cmd/simlint and the "Correctness tooling" section of the README.
 lint:
-	$(GO) run ./cmd/simlint
+	$(GO) run ./cmd/simlint -sarif simlint.sarif -ownership-out ownership.json
+
+# lint-baseline regenerates the committed suppression ledger from the
+# current findings and fails if it no longer matches the checked-in
+# file — run it (and commit the diff) after deliberately accepting or
+# burning down inventoried debt.
+lint-baseline:
+	$(GO) run ./cmd/simlint -write-baseline
+	git diff --exit-code .simlint-baseline.json
 
 test:
 	$(GO) test ./...

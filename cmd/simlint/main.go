@@ -1,19 +1,33 @@
 // Command simlint runs the simulator's invariant analyzers (package
 // internal/lint) over the module:
 //
-//	simlint            # analyze the whole module
-//	simlint ./...      # same
-//	simlint internal/memsys internal/cache
+//	simlint                          # analyze the whole module
+//	simlint ./...                    # same
+//	simlint internal/memsys          # narrow the *output* to packages
+//	simlint -analyzers sharedmut,hotalloc
+//	simlint -json                    # findings as a JSON array
+//	simlint -sarif out.sarif         # SARIF 2.1.0 for code scanning
+//	simlint -ownership-out ownership.json
+//	simlint -write-baseline          # inventory current findings
+//	simlint -list                    # print the suite
 //
-// Findings print as path:line:col: [analyzer] message and the exit
-// status is 1 when any finding survives suppression. -list prints the
-// suite. Suppress an individual finding with a //simlint:allow <name>
-// comment on the offending line or the line above.
+// Findings print as path:line:col: [analyzer] message. Exit status:
+//
+//	0  clean (no findings survived suppression, baseline and filters)
+//	1  findings
+//	2  load/usage error (bad flag, unknown analyzer, type-check failure)
+//
+// Suppress an individual finding with a //simlint:allow <name> comment
+// on the offending line or the line above; inventoried debt lives in
+// .simlint-baseline.json (see -baseline / -write-baseline). Under
+// GITHUB_ACTIONS=true (or -github) findings are also emitted as
+// ::error workflow annotations so they attach to the PR diff.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,62 +35,187 @@ import (
 	"cmpsim/internal/lint"
 )
 
+const baselineName = ".simlint-baseline.json"
+
 func main() {
-	listFlag := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Parse()
+	os.Exit(runWith(os.Args[1:], os.Stdout))
+}
+
+// runWith is the whole CLI behind an explicit flag set and output
+// stream, so the exit-code contract (0 clean / 1 findings / 2 error)
+// is testable in-process.
+func runWith(argv []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	var (
+		listFlag      = fs.Bool("list", false, "list the analyzers and exit")
+		jsonFlag      = fs.Bool("json", false, "print findings as a JSON array on stdout")
+		sarifFlag     = fs.String("sarif", "", "also write findings as SARIF 2.1.0 to `file`")
+		ownershipFlag = fs.String("ownership-out", "", "write the sharedmut ownership classification to `file` as JSON")
+		analyzersFlag = fs.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+		baselineFlag  = fs.String("baseline", "", "baseline file (default: "+baselineName+" at the module root, if present)")
+		writeBaseline = fs.Bool("write-baseline", false, "regenerate the baseline from current findings and exit")
+		githubFlag    = fs.Bool("github", false, "emit GitHub ::error workflow annotations (auto under GITHUB_ACTIONS=true)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*analyzersFlag)
+	if err != nil {
+		return fail(err)
+	}
 
 	if *listFlag {
-		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	root, err := lint.FindModuleRoot(cwd)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	// The source importer resolves module-internal imports relative to
 	// the working directory's module; run from the root so any package
 	// argument works.
 	if err := os.Chdir(root); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	loader := lint.NewLoader()
 	pkgs, err := loader.LoadModule(root)
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+
+	if *ownershipFlag != "" {
+		rep, err := lint.Ownership(pkgs)
+		if err != nil {
+			return fail(err)
+		}
+		data, err := rep.MarshalIndent()
+		if err != nil {
+			return fail(err)
+		}
+		if err := os.WriteFile(*ownershipFlag, append(data, '\n'), 0o644); err != nil {
+			return fail(err)
+		}
+	}
+
+	diags, err := lint.RunAnalyzers(analyzers, pkgs)
+	if err != nil {
+		return fail(err)
 	}
 
 	// Positional args narrow the analysis to matching packages; "./..."
-	// and the empty list mean everything. statreg still sees the whole
-	// module for its read-scan, so narrowing only filters the output.
-	filters := packageFilters(flag.Args())
-	diags, err := lint.RunAnalyzers(lint.Analyzers(), pkgs)
-	if err != nil {
-		fatal(err)
+	// and the empty list mean everything. Module-wide analyzers still
+	// see the whole module, so narrowing only filters the output.
+	filters := packageFilters(fs.Args())
+	var filtered []lint.Diagnostic
+	for _, d := range diags {
+		if filters.match(root, d.Pos.Filename) {
+			filtered = append(filtered, d)
+		}
 	}
 
-	bad := false
-	for _, d := range diags {
-		if !filters.match(root, d.Pos.Filename) {
+	baselinePath := *baselineFlag
+	if baselinePath == "" {
+		baselinePath = filepath.Join(root, baselineName)
+	}
+	if *writeBaseline {
+		b := lint.BaselineOf(root, filtered)
+		if err := b.Save(baselinePath); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "simlint: wrote %d baseline entries to %s\n", len(b.Entries), baselinePath)
+		return 0
+	}
+	baseline, err := lint.LoadBaseline(baselinePath)
+	if err != nil {
+		return fail(err)
+	}
+	filtered = baseline.Filter(root, filtered)
+
+	if *sarifFlag != "" {
+		f, err := os.Create(*sarifFlag)
+		if err != nil {
+			return fail(err)
+		}
+		if err := lint.WriteSARIF(f, root, analyzers, filtered); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+	}
+
+	github := *githubFlag || os.Getenv("GITHUB_ACTIONS") == "true"
+	if *jsonFlag {
+		if err := lint.WriteJSON(stdout, root, filtered); err != nil {
+			return fail(err)
+		}
+	} else {
+		for _, d := range lint.JSONDiagnostics(root, filtered) {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+		}
+	}
+	if github {
+		for _, d := range lint.JSONDiagnostics(root, filtered) {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=simlint %s::%s\n",
+				d.File, d.Line, d.Column, d.Analyzer, escapeAnnotation(d.Message))
+		}
+	}
+	if len(filtered) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves -analyzers against the suite, preserving
+// suite order; an unknown name is a usage error (exit 2).
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
 			continue
 		}
-		rel, rerr := filepath.Rel(root, d.Pos.Filename)
-		if rerr != nil {
-			rel = d.Pos.Filename
+		want[n] = true
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-		bad = true
 	}
-	if bad {
-		os.Exit(1)
+	if len(want) > 0 {
+		var unknown []string
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		return nil, fmt.Errorf("unknown analyzer(s) %s (see simlint -list)", strings.Join(unknown, ", "))
 	}
+	return out, nil
+}
+
+// escapeAnnotation encodes the characters the workflow-command parser
+// treats specially.
+func escapeAnnotation(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 type filterList []string
@@ -112,7 +251,7 @@ func (fl filterList) match(root, file string) bool {
 	return false
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "simlint:", err)
-	os.Exit(1)
+	return 2
 }

@@ -94,11 +94,11 @@ type codeEntry struct {
 }
 
 // CodeRegistry resolves physical addresses to decoded instructions over
-// all loaded programs. Lookups cache the last entry hit, which covers
-// almost every fetch thanks to code locality.
+// all loaded programs. It is immutable once the programs are loaded, so
+// all CPUs share it safely; the per-fetch lookup memo lives in the
+// per-CPU CodeCursor each core fetches through.
 type CodeRegistry struct {
 	entries []codeEntry
-	last    int
 }
 
 // Register adds p's text, relocated by physBias, to the registry.
@@ -116,7 +116,6 @@ func (r *CodeRegistry) Register(p *asm.Program, physBias uint32) {
 	}
 	r.entries = append(r.entries, e)
 	sort.Slice(r.entries, func(i, j int) bool { return r.entries[i].base < r.entries[j].base })
-	r.last = 0
 }
 
 // Dump writes a disassembly listing of every registered program region
@@ -135,17 +134,46 @@ func (r *CodeRegistry) Dump(w io.Writer) {
 	}
 }
 
-// InstAt implements cpu.CodeSource.
+// InstAt implements cpu.CodeSource by plain scan, with no lookup memo —
+// the registry stays read-only after loading. Cores fetch through a
+// Cursor instead, which adds the last-hit cache without sharing it.
 func (r *CodeRegistry) InstAt(paddr uint32) (isa.Inst, bool) {
-	if r.last < len(r.entries) {
-		if e := &r.entries[r.last]; paddr >= e.base && paddr < e.end {
-			return e.insts[(paddr-e.base)/4], true
-		}
-	}
 	for i := range r.entries {
 		e := &r.entries[i]
 		if paddr >= e.base && paddr < e.end {
-			r.last = i
+			return e.insts[(paddr-e.base)/4], true
+		}
+	}
+	return isa.Inst{}, false
+}
+
+// Cursor returns a per-CPU fetch view of the registry. The cursor
+// caches the last entry hit, which covers almost every fetch thanks to
+// code locality; keeping the memo per-CPU (rather than on the shared
+// registry, as it originally was) means concurrent ticks never write
+// shared state on the fetch path.
+func (r *CodeRegistry) Cursor() *CodeCursor { return &CodeCursor{reg: r} }
+
+// CodeCursor is one core's private window onto the shared CodeRegistry.
+//
+//simlint:owned per-cpu — every core gets its own cursor from Machine's newCore
+type CodeCursor struct {
+	reg  *CodeRegistry
+	last int
+}
+
+// InstAt implements cpu.CodeSource.
+func (c *CodeCursor) InstAt(paddr uint32) (isa.Inst, bool) {
+	entries := c.reg.entries
+	if c.last < len(entries) {
+		if e := &entries[c.last]; paddr >= e.base && paddr < e.end {
+			return e.insts[(paddr-e.base)/4], true
+		}
+	}
+	for i := range entries {
+		e := &entries[i]
+		if paddr >= e.base && paddr < e.end {
+			c.last = i
 			return e.insts[(paddr-e.base)/4], true
 		}
 	}
@@ -175,7 +203,14 @@ type Machine struct {
 	// the top of their cycle, before any CPU ticks. The guest kernel
 	// uses it for preemption timers.
 	Events event.Queue
-	irq    []bool
+
+	// irq holds the per-CPU external interrupt lines. They are
+	// cross-CPU by design — the kernel running on one CPU raises the
+	// line of another — so the parallel tick must buffer raises at
+	// window boundaries or make them atomic; until then this is a
+	// declared item on the ownership work list.
+	//simlint:allow sharedmut — cross-CPU IRQ lines; parallel tick must buffer raises at window boundaries
+	irq []bool
 
 	// skipped counts the cycles the quiescence-skipping scheduler
 	// fast-forwarded over instead of ticking (a pure speed metric:
@@ -234,7 +269,7 @@ func NewMachine(a Arch, model CPUModel, cfg memsys.Config, memBytes uint32) (*Ma
 	switch model {
 	case ModelMipsy:
 		m.newCore = func(id int, ctx *cpu.Context) Core {
-			c := mipsy.New(id, ctx, m.Sys, m.Code, m.Trap, m.Img, cfg.LineBytes)
+			c := mipsy.New(id, ctx, m.Sys, m.Code.Cursor(), m.Trap, m.Img, cfg.LineBytes)
 			if cfg.Prof != nil {
 				c.SetProfiler(cfg.Prof)
 			}
@@ -309,11 +344,13 @@ func (m *Machine) addSymbols(p *asm.Program, physBias uint32, withData bool) {
 			Text:  s.Text,
 		})
 	}
+	// Ordering observability metadata (prof.Symbol) at program-load
+	// time, before the first tick; the data never reaches simulation.
 	sort.SliceStable(m.syms, func(i, j int) bool {
-		if m.syms[i].Start != m.syms[j].Start {
+		if m.syms[i].Start != m.syms[j].Start { //simlint:allow neutral — load-time symbol-table ordering
 			return m.syms[i].Start < m.syms[j].Start
 		}
-		return m.syms[i].Name < m.syms[j].Name
+		return m.syms[i].Name < m.syms[j].Name //simlint:allow neutral — load-time symbol-table ordering
 	})
 }
 
@@ -499,6 +536,13 @@ func (m *Machine) nextCycle(cyc, end uint64, mets *obsv.Metrics) uint64 {
 		}
 	}
 	if mets != nil {
+		// The sampler's next due cycle bounds the quiescence skip so
+		// interval samples land on schedule. This is the tree's one
+		// sanctioned obs→sim dataflow: it changes only how the loop
+		// advances time, never what any cycle computes, and the
+		// output-identity tests pin byte-equal results with and without
+		// sampling attached.
+		//simlint:allow neutral — skip bound only; output byte-identical (see output-identity tests)
 		due := mets.NextDue()
 		if due <= step {
 			return step

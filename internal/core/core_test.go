@@ -135,14 +135,19 @@ func TestCodeRegistryLookup(t *testing.T) {
 	if _, ok := r.InstAt(p1.TextEnd()); ok {
 		t.Error("lookup exactly at text end should fail")
 	}
-	// The last-hit cache must not corrupt cross-entry lookups.
+	// Per-CPU cursors carry the last-hit cache; it must not corrupt
+	// cross-entry lookups, and two cursors must not disturb each other.
+	c1, c2 := r.Cursor(), r.Cursor()
 	for i := 0; i < 4; i++ {
-		if _, ok := r.InstAt(0x1000); !ok {
-			t.Fatal("lookup 1 failed")
+		if _, ok := c1.InstAt(0x1000); !ok {
+			t.Fatal("cursor 1 lookup failed")
 		}
-		if _, ok := r.InstAt(0x101004); !ok {
-			t.Fatal("lookup 2 failed")
+		if _, ok := c2.InstAt(0x101004); !ok {
+			t.Fatal("cursor 2 lookup failed")
 		}
+	}
+	if c1.last == c2.last {
+		t.Error("cursors hitting different entries should memoize independently")
 	}
 }
 

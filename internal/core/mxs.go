@@ -8,7 +8,7 @@ import (
 
 func init() {
 	newMXSCore = func(id int, ctx *cpu.Context, m *Machine, cfg memsys.Config) Core {
-		c := mxs.New(id, ctx, m.Sys, m.Code, m.Trap, m.Img, cfg.LineBytes)
+		c := mxs.New(id, ctx, m.Sys, m.Code.Cursor(), m.Trap, m.Img, cfg.LineBytes)
 		if cfg.Trace != nil {
 			c.SetTracer(cfg.Trace)
 		}

@@ -1,0 +1,118 @@
+package lint
+
+// The baseline is simlint's committed suppression ledger
+// (.simlint-baseline.json at the module root). When a new analyzer
+// lands with pre-existing findings that are tracked for burn-down
+// rather than fixed inline, `simlint -write-baseline` records them;
+// runs then report only findings NOT in the baseline, so CI fails on
+// new debt while tolerating the inventoried kind.
+//
+// Entries match on (file, analyzer, message) with an occurrence count —
+// deliberately not on line numbers, so unrelated edits above a
+// baselined site do not churn the file. Fixing a baselined finding
+// makes `make lint-baseline` regenerate a smaller file; committing that
+// shrink is the burn-down record.
+//
+// The shipped baseline is empty: every finding the v2 suite raised on
+// the tree was either fixed or carries an inline //simlint:allow with
+// its justification. The machinery exists so a future analyzer can land
+// before its findings are all burned down.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is the parsed suppression ledger.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry suppresses up to Count findings matching (File,
+// Analyzer, Message).
+type BaselineEntry struct {
+	File     string `json:"file"` // module-relative, forward slashes
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+type baselineKey struct {
+	file, analyzer, message string
+}
+
+// LoadBaseline reads the ledger at path. A missing file is an empty
+// baseline, not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// BaselineOf builds the ledger that would suppress exactly the given
+// findings.
+func BaselineOf(root string, diags []Diagnostic) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, d := range JSONDiagnostics(root, diags) {
+		counts[baselineKey{d.File, d.Analyzer, d.Message}]++
+	}
+	b := &Baseline{Entries: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{File: k.file, Analyzer: k.analyzer, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Filter returns the findings not covered by the baseline, preserving
+// order. Each entry absorbs at most Count matching findings.
+func (b *Baseline) Filter(root string, diags []Diagnostic) []Diagnostic {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		budget[baselineKey{e.File, e.Analyzer, e.Message}] += e.Count
+	}
+	kept := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		k := baselineKey{relPath(root, d.Pos.Filename), d.Analyzer, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// Save writes the ledger to path (indented, trailing newline), so the
+// committed file is byte-stable across regenerations.
+func (b *Baseline) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := writeIndented(f, b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

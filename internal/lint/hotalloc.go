@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // HotallocAnalyzer protects the tracer-disabled fast path. PR 1's
@@ -13,28 +14,38 @@ import (
 // silently costs 10-30% of simulation throughput before any benchmark
 // notices.
 //
-// A function is "hot" if it takes the current cycle (`now uint64`) or
-// is itself part of the observability surface (Emit / Observe /
-// ObserveAccess). Inside a hot function the analyzer flags
-// allocation-creating expressions (append, make, new, &CompositeLit)
-// and any fmt call, unless the expression is behind a tracer guard —
-// an enclosing `if x != nil` (or an earlier `if x == nil { return }`)
-// where x is a tracer, metrics or profiler sink (its type has an Emit,
-// Observe, ObserveAccess, RetirePC or LineAccess method). Guarded code
-// only runs when the user asked for tracing or profiling, where
-// allocation is acceptable.
+// A function is hot if it is *directly* hot — it takes the current
+// cycle (`now uint64`) or is itself part of the observability surface
+// (Emit / Observe / ObserveAccess) — or if the call graph proves a hot
+// function can reach it through unguarded call sites. The propagation
+// closes the v1 gap where allocations in helpers called from hot
+// functions were invisible: `Access(now, …) → fill(addr)` now marks
+// fill hot too, and an allocation there is reported with the call path
+// that makes it hot.
+//
+// Inside a hot function the analyzer flags allocation-creating
+// expressions (append, make, new, &CompositeLit) and any fmt call,
+// unless the expression is behind a tracer guard — an enclosing
+// `if x != nil` (or an earlier `if x == nil { return }`) where x is a
+// tracer, metrics or profiler sink (its type has an Emit, Observe,
+// ObserveAccess, RetirePC or LineAccess method). Guarded code only runs
+// when the user asked for tracing or profiling, where allocation is
+// acceptable; guarded call sites likewise do not propagate hot-ness.
+// Expressions inside panic(...) arguments are exempt the same way: a
+// panicking simulator has left the fast path for good, so formatting
+// the panic value costs nothing that matters.
 //
 // Deliberate allocations (e.g. compacting into a reused backing array)
 // are suppressed with //simlint:allow hotalloc.
 var HotallocAnalyzer = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "forbid allocations and fmt calls on the tracer-disabled fast path",
+	Doc:  "forbid allocations and fmt calls on the tracer-disabled fast path (call-graph propagated)",
 	Scope: scopeUnder(
 		"internal/cache", "internal/coherence", "internal/core",
 		"internal/cpu", "internal/memsys", "internal/interconnect",
 		"internal/event", "internal/obsv", "internal/prof",
 	),
-	Run: runHotalloc,
+	RunModule: runHotalloc,
 }
 
 // sinkMethods identify a tracer/metrics/profiler sink by duck typing.
@@ -56,43 +67,94 @@ func isHotFunc(fn ast.Node) bool {
 	return false
 }
 
-func runHotalloc(pass *Pass) error {
-	info := pass.Pkg.Info
-	for _, f := range pass.Pkg.Files {
-		inspectStack(f, func(n ast.Node, stack []ast.Node) {
-			fn := enclosingFunc(stack)
-			if fn == nil || !isHotFunc(fn) {
-				return
-			}
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				switch fun := unparen(n.Fun).(type) {
-				case *ast.Ident:
-					if b, ok := info.Uses[fun].(*types.Builtin); ok {
-						switch b.Name() {
-						case "append", "make", "new":
-							if !tracerGuarded(info, n, stack) {
-								pass.Reportf(n.Pos(), "%s allocates on the hot path; preallocate, or guard behind the tracer nil check", b.Name())
+func runHotalloc(pass *ModulePass) error {
+	graph := pass.Graph()
+	inScope := map[*Package]bool{}
+	for _, pkg := range pass.Packages {
+		inScope[pkg] = true
+	}
+
+	// Roots: directly hot declared functions in scoped packages. Sorted
+	// so the BFS parent choice (and so the call path in a message) is
+	// deterministic.
+	var roots []FuncKey
+	for key, node := range graph.Nodes {
+		if inScope[node.Pkg] && isHotFunc(node.Decl) {
+			roots = append(roots, key)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return keyLess(roots[i], roots[j]) })
+	// Hot closure over unguarded call edges. The traversal crosses
+	// package boundaries freely; only the reporting below is scoped.
+	// Panic-argument call sites do not conduct hot-ness: code that only
+	// runs while assembling a panic value (check.Checker.fail pulling the
+	// event trail out of the ring) is the run's last gasp, not a fast
+	// path.
+	hot := graph.Reachable(roots, ReachOpts{SkipGuarded: true, SkipFatal: true})
+
+	for _, pkg := range pass.Packages {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			inspectStack(f, func(n ast.Node, stack []ast.Node) {
+				fn := enclosingFunc(stack)
+				if fn == nil {
+					return
+				}
+				var via string
+				switch fn := fn.(type) {
+				case *ast.FuncLit:
+					// A literal is hot only by its own signature: its body
+					// runs when called, which the value-tracking edges
+					// already over-approximate for the enclosing decl.
+					if !isHotFunc(fn) {
+						return
+					}
+				case *ast.FuncDecl:
+					if !isHotFunc(fn) {
+						obj, ok := info.Defs[fn.Name].(*types.Func)
+						if !ok {
+							return
+						}
+						key, ok := funcKeyOf(obj)
+						if !ok {
+							return
+						}
+						if _, reached := hot[key]; !reached {
+							return
+						}
+						via = " (hot via " + PathString(Path(hot, key)) + ")"
+					}
+				}
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					switch fun := unparen(n.Fun).(type) {
+					case *ast.Ident:
+						if b, ok := info.Uses[fun].(*types.Builtin); ok {
+							switch b.Name() {
+							case "append", "make", "new":
+								if !tracerGuarded(info, n, stack) && !inPanicArgs(info, stack) {
+									pass.Reportf(pkg, n.Pos(), "%s allocates on the hot path; preallocate, or guard behind the tracer nil check%s", b.Name(), via)
+								}
+							}
+						}
+					case *ast.SelectorExpr:
+						if pkgNameOf(info, fun) == "fmt" {
+							if !tracerGuarded(info, n, stack) && !inPanicArgs(info, stack) {
+								pass.Reportf(pkg, n.Pos(), "fmt.%s on the hot path allocates and formats per call; move it off the fast path%s", fun.Sel.Name, via)
 							}
 						}
 					}
-				case *ast.SelectorExpr:
-					if pkgNameOf(info, fun) == "fmt" {
-						if !tracerGuarded(info, n, stack) {
-							pass.Reportf(n.Pos(), "fmt.%s on the hot path allocates and formats per call; move it off the fast path", fun.Sel.Name)
+				case *ast.UnaryExpr:
+					if n.Op == token.AND {
+						if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
+							if !tracerGuarded(info, n, stack) && !inPanicArgs(info, stack) {
+								pass.Reportf(pkg, n.Pos(), "&composite literal escapes to the heap on the hot path%s", via)
+							}
 						}
 					}
 				}
-			case *ast.UnaryExpr:
-				if n.Op == token.AND {
-					if _, ok := unparen(n.X).(*ast.CompositeLit); ok {
-						if !tracerGuarded(info, n, stack) {
-							pass.Reportf(n.Pos(), "&composite literal escapes to the heap on the hot path")
-						}
-					}
-				}
-			}
-		})
+			})
+		}
 	}
 	return nil
 }

@@ -65,13 +65,21 @@ type Analyzer struct {
 	RunModule func(*ModulePass) error
 }
 
-// Analyzers is the simlint suite, in reporting order.
+// Analyzers is the simlint suite, in reporting order. The first four
+// are the v1 AST-local checkers; sharedmut, neutral and cachekey are
+// the v2 module-wide dataflow suite built on the shared call graph
+// (callgraph.go) that machine-checks the preconditions for the
+// parallel tick, the telemetry neutrality contract, and the result
+// cache.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
 		CycleflowAnalyzer,
 		HotallocAnalyzer,
 		StatregAnalyzer,
+		SharedmutAnalyzer,
+		NeutralAnalyzer,
+		CachekeyAnalyzer,
 	}
 }
 
@@ -89,10 +97,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // ModulePass is a module-wide analyzer's view of every loaded package.
+// Packages is the analyzer's scoped slice; the full module (for
+// cross-package reachability and the shared call graph) is available
+// through Graph and allPackages.
 type ModulePass struct {
 	Analyzer *Analyzer
 	Packages []*Package
 	diags    *[]Diagnostic
+	all      []*Package
+	shared   *moduleShared
 }
 
 // Reportf records a finding positioned in pkg.
@@ -173,13 +186,48 @@ func (p *Package) collectAllows() {
 type Loader struct {
 	Fset *token.FileSet
 	imp  types.Importer
+
+	// preloaded maps import paths to packages registered via Preload,
+	// consulted before the source importer. Fixture tests use it to
+	// stand in for module packages (a fake internal/obsv the go tool
+	// could never resolve from a testdata directory).
+	preloaded map[string]*types.Package
 }
 
 // NewLoader returns a loader backed by the standard library's source
 // importer (type-checks imports from source; no export data needed).
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{
+		Fset:      fset,
+		imp:       importer.ForCompiler(fset, "source", nil),
+		preloaded: map[string]*types.Package{},
+	}
+}
+
+// Preload registers an already-loaded package under its import path so
+// later Loads can import it by that path.
+func (l *Loader) Preload(p *Package) { l.preloaded[p.Path] = p.Types }
+
+// loaderImporter resolves preloaded paths first, then delegates to the
+// source importer.
+type loaderImporter struct{ l *Loader }
+
+func (li loaderImporter) Import(path string) (*types.Package, error) {
+	if p := li.l.preloaded[path]; p != nil {
+		return p, nil
+	}
+	return li.l.imp.Import(path)
+}
+
+func (li loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p := li.l.preloaded[path]; p != nil {
+		return p, nil
+	}
+	if from, ok := li.l.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return li.l.imp.Import(path)
 }
 
 // Load parses and type-checks the non-test .go files of the package in
@@ -217,7 +265,7 @@ func (l *Loader) Load(dir, path, relPath string) (*Package, error) {
 	}
 	var typeErrs []error
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: loaderImporter{l},
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
 	tpkg, _ := conf.Check(path, l.Fset, files, info)
@@ -319,6 +367,7 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 // the findings sorted by position.
 func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	shared := &moduleShared{}
 	for _, a := range analyzers {
 		var scoped []*Package
 		for _, pkg := range pkgs {
@@ -328,7 +377,7 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) 
 		}
 		switch {
 		case a.RunModule != nil:
-			mp := &ModulePass{Analyzer: a, Packages: scoped, diags: &diags}
+			mp := &ModulePass{Analyzer: a, Packages: scoped, diags: &diags, all: pkgs, shared: shared}
 			if err := a.RunModule(mp); err != nil {
 				return nil, fmt.Errorf("%s: %w", a.Name, err)
 			}

@@ -68,14 +68,36 @@ func analyzerByName(t *testing.T, name string) *lint.Analyzer {
 // fixture and requires the findings to match the `// want` annotations
 // exactly — no misses, no extras, and suppressed lines stay silent.
 func TestAnalyzersCatchFixtures(t *testing.T) {
-	for _, name := range []string{"determinism", "cycleflow", "hotalloc", "statreg"} {
+	// Each fixture masquerades as an in-scope simulator package via its
+	// fake relPath: internal/cache for the per-CPU-domain analyzers,
+	// internal/memsys for the ones keyed to the shared domain (sharedmut
+	// ownership defaults, cachekey's Config audit).
+	fixtures := []struct{ name, relPath string }{
+		{"determinism", "internal/cache"},
+		{"cycleflow", "internal/cache"},
+		{"hotalloc", "internal/cache"},
+		{"statreg", "internal/cache"},
+		{"sharedmut", "internal/memsys"},
+		{"neutral", "internal/cache"},
+		{"cachekey", "internal/memsys"},
+	}
+	for _, fx := range fixtures {
+		name := fx.name
 		t.Run(name, func(t *testing.T) {
 			a := analyzerByName(t, name)
 			dir := filepath.Join("testdata", "src", name)
-			// The fixture masquerades as an in-scope simulator package:
-			// internal/cache is inside every per-package analyzer's
-			// scope, and under internal/ for statreg's definition scan.
-			pkg, err := sharedLoader().Load(dir, "cmpsim/lintfixture/"+name, "internal/cache")
+			if name == "neutral" {
+				// The neutral fixture consumes a stand-in observability
+				// package; preload it under a path whose suffix marks it
+				// as the obs surface.
+				obs, err := sharedLoader().Load(filepath.Join(dir, "obsv"),
+					"cmpsim/lintfixture/internal/obsv", "internal/obsv")
+				if err != nil {
+					t.Fatalf("load obs fixture: %v", err)
+				}
+				sharedLoader().Preload(obs)
+			}
+			pkg, err := sharedLoader().Load(dir, "cmpsim/lintfixture/"+name, fx.relPath)
 			if err != nil {
 				t.Fatalf("load fixture: %v", err)
 			}
@@ -112,22 +134,40 @@ func TestAnalyzersCatchFixtures(t *testing.T) {
 	}
 }
 
+// The real-module load is shared across the whole-tree tests (shipped
+// tree, ownership golden): type-checking the module from source once is
+// expensive enough to amortize.
+var (
+	moduleOnce sync.Once
+	modulePkgs []*lint.Package
+	moduleRoot string
+	moduleErr  error
+)
+
+func loadRealModule(t *testing.T) (string, []*lint.Package) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	moduleOnce.Do(func() {
+		moduleRoot, moduleErr = lint.FindModuleRoot(".")
+		if moduleErr != nil {
+			return
+		}
+		modulePkgs, moduleErr = sharedLoader().LoadModule(moduleRoot)
+	})
+	if moduleErr != nil {
+		t.Fatal(moduleErr)
+	}
+	return moduleRoot, modulePkgs
+}
+
 // TestShippedTreeClean runs the full suite over the real module and
 // requires zero findings: the simulator itself must satisfy its own
 // invariants (violations that are deliberate carry simlint:allow
 // comments in the source).
 func TestShippedTreeClean(t *testing.T) {
-	if testing.Short() {
-		t.Skip("type-checks the whole module; skipped in -short mode")
-	}
-	root, err := lint.FindModuleRoot(".")
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkgs, err := sharedLoader().LoadModule(root)
-	if err != nil {
-		t.Fatal(err)
-	}
+	root, pkgs := loadRealModule(t)
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages from %s; loader is missing the tree", len(pkgs), root)
 	}

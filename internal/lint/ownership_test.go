@@ -1,0 +1,114 @@
+package lint_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmpsim/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the ownership golden file")
+
+// TestOwnershipGoldenReport pins the sharedmut ownership classification
+// of the real tree byte-for-byte. The golden file is the parallel-tick
+// work list: a refactor that silently reclassifies a field (an
+// arbitrated write going arbiter-free, a per-CPU struct becoming
+// shared) shows up here as a diff before it can race. Regenerate after
+// a deliberate change with:
+//
+//	go test ./internal/lint -run TestOwnershipGolden -update
+func TestOwnershipGoldenReport(t *testing.T) {
+	_, pkgs := loadRealModule(t)
+	rep, err := lint.Ownership(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	golden := filepath.Join("testdata", "ownership.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(data))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("ownership classification drifted from %s;\nif the change is deliberate, regenerate with -update and commit the diff as the work-list change it is", golden)
+		logFirstDiff(t, want, data)
+	}
+
+	// The report must be deterministic run to run, not just stable
+	// against the golden: rebuild from the same packages and compare.
+	rep2, err := lint.Ownership(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := rep2.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, append(data2, '\n')) {
+		t.Error("two Ownership runs over the same packages differ; classification leaks map order")
+	}
+}
+
+// TestOwnershipReportShape spot-checks load-bearing entries so a golden
+// regeneration cannot silently bless a broken classifier.
+func TestOwnershipReportShape(t *testing.T) {
+	_, pkgs := loadRealModule(t)
+	rep, err := lint.Ownership(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Roots) == 0 || len(rep.Arbiters) == 0 {
+		t.Fatalf("report missing roots (%d) or arbiters (%d)", len(rep.Roots), len(rep.Arbiters))
+	}
+	class := map[string]string{}
+	for _, f := range rep.Fields {
+		class[f.Package+"."+f.Struct+"."+f.Field] = f.Class
+	}
+	for key, want := range map[string]string{
+		// The MESI state tables only mutate through bus/directory
+		// arbitration.
+		"internal/memsys.reservations.valid": "shared-arbitrated",
+		// Each CPU owns its own store buffer (declared per-cpu).
+		"internal/memsys.writeBuf.pending": "per-cpu",
+		// The IRQ lines carry a justified hazard: the diagnostic is
+		// suppressed in source, but the report must keep the flag so the
+		// parallel-tick work list stays honest.
+		"internal/core.Machine.irq": "flagged",
+		// Construction-time state never written under a tick.
+		"internal/memsys.Config.NumCPUs": "tick-const",
+	} {
+		if got, ok := class[key]; !ok {
+			t.Errorf("report has no entry for %s", key)
+		} else if got != want {
+			t.Errorf("%s classified %q, want %q", key, got, want)
+		}
+	}
+}
+
+func logFirstDiff(t *testing.T, want, got []byte) {
+	t.Helper()
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			t.Logf("first diff at line %d:\n golden: %s\n got:    %s", i+1, wl[i], gl[i])
+			return
+		}
+	}
+	t.Logf("files differ in length: golden %d lines, got %d lines", len(wl), len(gl))
+}

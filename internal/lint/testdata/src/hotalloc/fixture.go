@@ -73,3 +73,24 @@ func (u *profUnit) step(now uint64) {
 
 	u.buf = append(u.buf, now) // want "append allocates"
 }
+
+// The v2 propagation cases: helpers without a now parameter become hot
+// when an unguarded call chain from a hot function reaches them.
+
+func (u *unit) propagate(now uint64) {
+	u.fill()
+	if u.trace != nil {
+		u.slowFill() // guarded call site: hot-ness must not propagate
+	}
+	if now == 0 {
+		panic(fmt.Sprintf("cycle %d stalled", now)) // ok: the run is dying
+	}
+}
+
+func (u *unit) fill() {
+	u.buf = append(u.buf, 0) // want "hot via"
+}
+
+func (u *unit) slowFill() {
+	u.buf = append(u.buf, 1) // ok: only reachable through the tracer guard
+}

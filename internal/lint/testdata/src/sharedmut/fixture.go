@@ -1,0 +1,75 @@
+// Package fixture seeds the sharedmut ownership violations. The test
+// loads it with relPath "internal/memsys", a shared-domain simulator
+// package, so undeclared structs default to shared ownership. Tick is
+// the reachability root; every write it can reach without crossing an
+// arbiter must be per-CPU, arbitrated, or justified.
+package fixture
+
+// bus is shared state whose only writer is a declared arbitration
+// point — classified shared-arbitrated, no finding.
+type bus struct {
+	owner int
+}
+
+// Acquire models bus arbitration.
+//
+//simlint:arbiter
+func (b *bus) Acquire(cpu int) {
+	b.owner = cpu
+}
+
+// sharedCounters is shared-domain state with an arbiter-free writer:
+// the parallel-tick hazard the analyzer exists to catch.
+type sharedCounters struct {
+	hits uint64 // want "written on an arbiter-free path"
+}
+
+func (s *sharedCounters) bump() {
+	s.hits++
+}
+
+// private is per-CPU by construction (indexed by cpu id everywhere)
+// and declared so; its tick-path writes are fine.
+//
+//simlint:owned per-cpu
+type private struct {
+	n uint64
+}
+
+// scratch carries a justified hazard: the allow comment on the field
+// suppresses the finding.
+type scratch struct {
+	//simlint:allow sharedmut — fixture: justified hazard under burn-down
+	tmp uint64
+}
+
+func (s *scratch) poke() {
+	s.tmp++
+}
+
+// config is never written on any tick path — tick-const, no finding.
+type config struct {
+	ways int
+}
+
+type system struct {
+	bus  bus
+	ctr  sharedCounters
+	pad  scratch
+	priv []private
+	cfg  config
+}
+
+type core struct {
+	sys *system
+	id  int
+}
+
+// Tick is a root by name: everything below here is tick-reachable.
+func (c *core) Tick(now uint64) {
+	c.sys.bus.Acquire(c.id)
+	c.sys.ctr.bump()
+	c.sys.pad.poke()
+	c.sys.priv[c.id].n++
+	_ = c.sys.cfg.ways
+}

@@ -185,6 +185,8 @@ type Config struct {
 	// jobs — cached and simulated alike — without bypassing the result
 	// cache. Leave nil for normal runs; the disabled fast path is a
 	// single pointer check per executed cycle.
+	//
+	//simlint:cachekey-exempt — output-neutral by contract (enforced by the neutral analyzer)
 	Telem *telemetry.SimMetrics
 
 	// NoSkip disables the core loop's quiescence skipping (cmpsim
@@ -289,6 +291,8 @@ func (c Config) MXS() Config {
 // writeBuf models a per-CPU store buffer: the CPU retires a store in one
 // cycle while the write (and any allocation fetch it triggers) drains in
 // the background. A full buffer stalls further stores.
+//
+//simlint:owned per-cpu — each CPU drains only its own buffer (wbufs[cpu])
 type writeBuf struct {
 	depth   int
 	pending []uint64 // completion cycles of in-flight stores
@@ -311,13 +315,16 @@ func (w *writeBuf) full(now uint64) bool {
 }
 
 func (w *writeBuf) add(done uint64) {
-	w.pending = append(w.pending, done)
+	// The backing array is preallocated to depth by newWriteBufs and
+	// add is only called when full() said no; the append never grows.
+	w.pending = append(w.pending, done) //simlint:allow hotalloc — appends into the depth-capacity array preallocated by newWriteBufs
 }
 
 func newWriteBufs(n, depth int) []writeBuf {
 	bufs := make([]writeBuf, n)
 	for i := range bufs {
 		bufs[i].depth = depth
+		bufs[i].pending = make([]uint64, 0, depth)
 	}
 	return bufs
 }
@@ -337,6 +344,12 @@ func newReservations(numCPUs int, lineBytes uint32) reservations {
 	}
 }
 
+// set records cpu's LL reservation. The reservation table is itself an
+// inter-CPU arbitration mechanism (LL/SC): its methods are the declared
+// serialization points the parallel tick must order at window
+// boundaries, exactly like bus acquisition.
+//
+//simlint:arbiter
 func (r *reservations) set(cpu int, addr uint32) {
 	r.addr[cpu] = addr & r.lineMask
 	r.valid[cpu] = true
@@ -344,6 +357,8 @@ func (r *reservations) set(cpu int, addr uint32) {
 
 // clearOthers breaks every other CPU's reservation on addr's line; call
 // on every store.
+//
+//simlint:arbiter
 func (r *reservations) clearOthers(cpu int, addr uint32) {
 	la := addr & r.lineMask
 	for i := range r.valid {
@@ -355,12 +370,15 @@ func (r *reservations) clearOthers(cpu int, addr uint32) {
 
 // checkAndClear consumes cpu's reservation, reporting whether it was
 // still valid for addr's line.
+//
+//simlint:arbiter
 func (r *reservations) checkAndClear(cpu int, addr uint32) bool {
 	ok := r.valid[cpu] && r.addr[cpu] == addr&r.lineMask
 	r.valid[cpu] = false
 	return ok
 }
 
+//simlint:arbiter
 func (r *reservations) clear(cpu int) { r.valid[cpu] = false }
 
 // newICaches builds the private instruction caches common to all three

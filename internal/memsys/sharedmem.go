@@ -31,7 +31,12 @@ type SharedMem struct {
 	bus   interconnect.Resource
 	wbufs []writeBuf
 
-	chkNodes []check.NodeState // preallocated sanitizer scratch, nil unless Check is set
+	// chkNodes is preallocated sanitizer scratch, nil unless Check is
+	// set. Sanitized runs stay serial: the scratch only exists when a
+	// Checker is attached, and the parallel tick will not offer
+	// -sanitize until the checker itself is made window-aware.
+	//simlint:allow sharedmut — sanitizer scratch; sanitized runs stay serial by contract
+	chkNodes []check.NodeState
 }
 
 // NewSharedMem builds the shared-memory architecture from cfg.

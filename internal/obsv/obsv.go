@@ -198,6 +198,7 @@ func (t teeTracer) Emit(ev Event) {
 		tr.Emit(ev)
 	}
 }
+
 // Note: this package deliberately holds no mutable package-level
 // state. Per-run tallies (e.g. the stall-accounting violation recorded
 // by stats.FromRun) live on per-run values, so back-to-back runs in

@@ -5,8 +5,8 @@ import (
 	"math/rand"
 
 	"cmpsim/internal/asm"
-	"cmpsim/internal/cyc"
 	"cmpsim/internal/core"
+	"cmpsim/internal/cyc"
 )
 
 // LatProbe is a microbenchmark, not one of the paper's applications: a
