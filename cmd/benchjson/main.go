@@ -7,14 +7,23 @@
 // skip-vs-no-skip speedup per figure. CI uploads the file as an
 // artifact so future PRs have a perf trajectory to regress against.
 //
+// Detailed-CPU (MXS) rows are additionally measured with the parallel
+// tick scheduler (-sim-jobs 4): the simulated cycle count must match
+// the serial run exactly at every worker count (2 and 4 are checked),
+// and the wall-clock ratio against the same sample's serial run is
+// recorded as par_speedup.
+//
 // With -gate it becomes the CI perf gate instead: it re-measures the
 // matrix and compares against the committed baseline without writing
 // anything. Simulated cycle counts must match the baseline exactly
 // (they are deterministic; a mismatch means the baseline is stale and
 // must be regenerated). Wall-clock figures differ across hardware, so
-// the gate checks the dimensionless skip-vs-no-skip speedup instead of
-// ns/op: MemBound rows must keep a speedup of at least 2x, and every
-// other row must stay within ±30% of its baseline speedup. -samples N
+// the gate checks dimensionless same-host speedups instead of ns/op:
+// Mipsy MemBound rows must keep a skip-vs-no-skip speedup of at least
+// 2x, the MXS MemBound row must keep a parallel-vs-serial speedup of
+// at least 1.5x (1.25x on hosts with fewer than four cores, where the
+// win comes from the per-CPU local skip alone), and every other row
+// must stay within ±30% of its baseline skip speedup. -samples N
 // measures each cell N times and takes the median, damping scheduler
 // noise on shared CI runners.
 //
@@ -36,6 +45,7 @@ import (
 	"testing"
 
 	"cmpsim/internal/benchfig"
+	"cmpsim/internal/core"
 )
 
 // figureRow is one figure's measurements. Simulated cycle counts are
@@ -51,6 +61,16 @@ type figureRow struct {
 	NoSkipNsPerOp       int64   `json:"noskip_ns_per_op"`
 	NoSkipSimCyclesPerS float64 `json:"noskip_sim_cycles_per_sec"`
 	Speedup             float64 `json:"speedup"`
+
+	// Parallel-tick measurement (MXS rows only; zero elsewhere).
+	// ParSpeedup is the median of per-sample serial/parallel ratios;
+	// each ratio pairs back-to-back runs of the same sample. Simulated
+	// cycles are verified identical at every worker count, so
+	// SimCyclesPerOp serves the parallel throughput number too.
+	ParJobs          int     `json:"par_jobs,omitempty"`
+	ParNsPerOp       int64   `json:"par_ns_per_op,omitempty"`
+	ParSimCyclesPerS float64 `json:"par_sim_cycles_per_sec,omitempty"`
+	ParSpeedup       float64 `json:"par_speedup,omitempty"`
 }
 
 // report is the BENCH_figures.json schema. No timestamp on purpose:
@@ -63,14 +83,15 @@ type report struct {
 	Figures   []figureRow `json:"figures"`
 }
 
-// benchFigure times one (figure, noSkip) cell and returns the result
-// plus the simulated cycles of a single op.
-func benchFigure(f benchfig.Figure, noSkip bool) (testing.BenchmarkResult, uint64, error) {
+// benchFigure times one (figure, noSkip, simJobs) cell and returns the
+// result plus the simulated cycles of a single op.
+func benchFigure(f benchfig.Figure, noSkip bool, simJobs int) (testing.BenchmarkResult, uint64, error) {
 	var cycles uint64
 	var runErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		cfg := f.Config()
 		cfg.NoSkip = noSkip
+		cfg.SimJobs = simJobs
 		for i := 0; i < b.N; i++ {
 			_, c, err := benchfig.Run(f, &cfg)
 			if err != nil {
@@ -82,6 +103,9 @@ func benchFigure(f benchfig.Figure, noSkip bool) (testing.BenchmarkResult, uint6
 	})
 	return r, cycles, runErr
 }
+
+// parJobs is the worker count of the parallel-tick measurement cell.
+const parJobs = 4
 
 func cyclesPerSec(cycles uint64, nsPerOp int64) float64 {
 	if nsPerOp <= 0 {
@@ -108,16 +132,23 @@ func medianFloat64(vs []float64) float64 {
 // skewing the quotient of two independently-noisy medians. Sim cycles
 // must be identical across every sample — they are deterministic, and a
 // drift here is a simulator bug worth dying on.
+// MXS figures additionally measure the parallel tick scheduler at
+// parJobs workers: each sample's parallel run pairs against that
+// sample's serial skip run for the par_speedup ratio, and the simulated
+// cycle count must match the serial run exactly — at -sim-jobs 2 as
+// well (checked once, untimed), since the identity guarantee is "every
+// worker count", not one lucky shard shape.
 func measureFigure(f benchfig.Figure, samples int) (figureRow, error) {
-	var skipNs, noSkipNs []int64
-	var ratios []float64
+	par := f.Model == core.ModelMXS
+	var skipNs, noSkipNs, parNs []int64
+	var ratios, parRatios []float64
 	var cycles uint64
 	for s := 0; s < samples; s++ {
-		skip, c, err := benchFigure(f, false)
+		skip, c, err := benchFigure(f, false, 1)
 		if err != nil {
 			return figureRow{}, err
 		}
-		ref, _, err := benchFigure(f, true)
+		ref, _, err := benchFigure(f, true, 1)
 		if err != nil {
 			return figureRow{}, err
 		}
@@ -129,6 +160,30 @@ func measureFigure(f benchfig.Figure, samples int) (figureRow, error) {
 		noSkipNs = append(noSkipNs, ref.NsPerOp())
 		if ns := skip.NsPerOp(); ns > 0 {
 			ratios = append(ratios, float64(ref.NsPerOp())/float64(ns))
+		}
+		if par {
+			pres, pc, err := benchFigure(f, false, parJobs)
+			if err != nil {
+				return figureRow{}, err
+			}
+			if pc != c {
+				return figureRow{}, fmt.Errorf("sim cycles diverge at -sim-jobs %d: serial %d vs parallel %d", parJobs, c, pc)
+			}
+			parNs = append(parNs, pres.NsPerOp())
+			if ns := pres.NsPerOp(); ns > 0 {
+				parRatios = append(parRatios, float64(skip.NsPerOp())/float64(ns))
+			}
+		}
+	}
+	if par {
+		cfg := f.Config()
+		cfg.SimJobs = 2
+		_, c2, err := benchfig.Run(f, &cfg)
+		if err != nil {
+			return figureRow{}, err
+		}
+		if c2 != cycles {
+			return figureRow{}, fmt.Errorf("sim cycles diverge at -sim-jobs 2: serial %d vs parallel %d", cycles, c2)
 		}
 	}
 	row := figureRow{
@@ -143,17 +198,33 @@ func measureFigure(f benchfig.Figure, samples int) (figureRow, error) {
 	if len(ratios) > 0 {
 		row.Speedup = medianFloat64(ratios)
 	}
+	if par {
+		row.ParJobs = parJobs
+		row.ParNsPerOp = medianInt64(parNs)
+		row.ParSimCyclesPerS = cyclesPerSec(cycles, row.ParNsPerOp)
+		if len(parRatios) > 0 {
+			row.ParSpeedup = medianFloat64(parRatios)
+		}
+	}
 	return row, nil
 }
 
-// gate tolerances. MemBound rows exist precisely to prove the
+// gate tolerances. Mipsy MemBound rows exist precisely to prove the
 // quiescence-skipping scheduler earns its keep on latency-dominated
-// configurations; the default rows only guard against the skip
+// configurations (the MXS MemBound row is exempt from the skip floor:
+// its out-of-order CPUs block at staggered times, so the serial global
+// skip barely fires there — that row's sentinel is the parallel-tick
+// floor instead). The default rows only guard against the skip
 // machinery itself regressing, so they get a wide hardware-tolerant
-// band around the baseline's dimensionless speedup.
+// band around the baseline's dimensionless speedup. Parallel speedups
+// are floor-checked rather than banded: the baseline may come from a
+// host with a different core count, so comparing against it is
+// meaningless.
 const (
-	gateMemBoundMinSpeedup = 2.0
-	gateSpeedupTolerance   = 0.30
+	gateMemBoundMinSpeedup     = 2.0
+	gateSpeedupTolerance       = 0.30
+	gateParMinSpeedup          = 1.5  // hosts with >= parJobs cores (CI runners)
+	gateParMinSpeedupSmallHost = 1.25 // fewer cores: per-CPU local skip alone
 )
 
 // runGate re-measures every figure of the baseline and applies the
@@ -182,17 +253,20 @@ func runGate(baseline report, samples int) bool {
 			continue
 		}
 		status := "ok"
+		memBound := strings.Contains(f.Name, "MemBound")
 		switch {
 		case row.SimCyclesPerOp != b.SimCyclesPerOp:
 			fail(f.Name, "sim cycles changed: %d -> %d (simulation output moved; regenerate the baseline deliberately)",
 				b.SimCyclesPerOp, row.SimCyclesPerOp)
 			status = "FAIL"
-		case strings.Contains(f.Name, "MemBound"):
+		case memBound && f.Model == core.ModelMipsy:
 			if row.Speedup < gateMemBoundMinSpeedup {
 				fail(f.Name, "skip speedup %.2fx below the %.1fx floor (baseline %.2fx)",
 					row.Speedup, gateMemBoundMinSpeedup, b.Speedup)
 				status = "FAIL"
 			}
+		case memBound:
+			// MXS MemBound: the parallel-tick sentinel, checked below.
 		default:
 			lo := b.Speedup * (1 - gateSpeedupTolerance)
 			hi := b.Speedup * (1 + gateSpeedupTolerance)
@@ -202,8 +276,23 @@ func runGate(baseline report, samples int) bool {
 				status = "FAIL"
 			}
 		}
-		fmt.Fprintf(os.Stderr, "%-22s %12d sim-cycles  speedup %.2fx (baseline %.2fx)  %s\n",
-			f.Name, row.SimCyclesPerOp, row.Speedup, b.Speedup, status)
+		if memBound && row.ParJobs > 0 && status == "ok" {
+			floor := gateParMinSpeedup
+			if runtime.NumCPU() < parJobs {
+				floor = gateParMinSpeedupSmallHost
+			}
+			if row.ParSpeedup < floor {
+				fail(f.Name, "parallel-tick speedup %.2fx at -sim-jobs %d below the %.2fx floor (baseline %.2fx)",
+					row.ParSpeedup, row.ParJobs, floor, b.ParSpeedup)
+				status = "FAIL"
+			}
+		}
+		line := fmt.Sprintf("%-28s %12d sim-cycles  speedup %.2fx (baseline %.2fx)",
+			f.Name, row.SimCyclesPerOp, row.Speedup, b.Speedup)
+		if row.ParJobs > 0 {
+			line += fmt.Sprintf("  par %.2fx", row.ParSpeedup)
+		}
+		fmt.Fprintf(os.Stderr, "%s  %s\n", line, status)
 	}
 	for _, row := range baseline.Figures {
 		if !seen[row.Name] {
@@ -269,8 +358,12 @@ func main() {
 		}
 		rep.Figures = append(rep.Figures, row)
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "%-22s %12d sim-cycles  skip %10dns/op  no-skip %10dns/op  %.2fx\n",
+			line := fmt.Sprintf("%-28s %12d sim-cycles  skip %10dns/op  no-skip %10dns/op  %.2fx",
 				f.Name, row.SimCyclesPerOp, row.SkipNsPerOp, row.NoSkipNsPerOp, row.Speedup)
+			if row.ParJobs > 0 {
+				line += fmt.Sprintf("  par%d %10dns/op  %.2fx", row.ParJobs, row.ParNsPerOp, row.ParSpeedup)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 

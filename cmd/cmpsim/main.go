@@ -108,6 +108,7 @@ func main() {
 		noSkip  = flag.Bool("no-skip", false, "disable quiescence skipping in the cycle loop (slower; output is identical)")
 
 		jobs     = flag.Int("jobs", 0, "max concurrent architecture runs (0 = GOMAXPROCS); output is identical for any value")
+		simJobs  = flag.Int("sim-jobs", 1, "shard each simulation's CPUs across up to N host goroutines (1 = serial; output is identical for any value; composes with -jobs under a host-core cap)")
 		cacheDir = flag.String("cache-dir", "", "memoize run results as JSON under this directory (\"\" = off)")
 		progress = flag.Bool("progress", false, "print per-job completion lines (wall time, cache status) on stderr; stdout is unaffected")
 
@@ -153,6 +154,7 @@ func main() {
 		cfg.NumCPUs = *cpus
 	}
 	cfg.NoSkip = *noSkip
+	cfg.SimJobs = *simJobs
 
 	set, err := telem.Start()
 	if err != nil {
@@ -161,7 +163,7 @@ func main() {
 	}
 	defer telem.Close()
 
-	pool := &runner.Pool{Workers: *jobs}
+	pool := &runner.Pool{Workers: runner.CapWorkers(*jobs, *simJobs)}
 	if *progress {
 		pool.Progress = os.Stderr
 	}

@@ -57,6 +57,10 @@ var obsvFlags obsvOpts
 // skip regression suite uses it to prove output-identical behavior.
 var noSkipFlag bool
 
+// simJobsFlag shards each dispatched simulation's CPUs across host
+// goroutines; output is identical for any value.
+var simJobsFlag int
+
 // telemSim, when host telemetry is enabled, is the campaign-wide
 // cycle-loop instrument panel shared by every dispatched job.
 var telemSim *telemetry.SimMetrics
@@ -93,6 +97,7 @@ func (g *grid) addJob(wlName string, quick bool, arch core.Arch, model core.CPUM
 		variant = "quick"
 	}
 	cfg.NoSkip = noSkipFlag
+	cfg.SimJobs = simJobsFlag
 	cfg.Telem = telemSim
 	job := runner.Job{
 		Workload: func() (workload.Workload, error) {
@@ -145,6 +150,7 @@ func main() {
 	flag.StringVar(&obsvFlags.profOut, "prof-out", "", "write per-run cycle-attribution profiles as JSON (cmd/simprof -in); the run tag is spliced into this filename")
 	progress := flag.Bool("progress", false, "print per-job completion lines (wall time, cache status) on stderr; stdout is unaffected")
 	flag.BoolVar(&noSkipFlag, "no-skip", false, "disable quiescence skipping in the cycle loop (slower; output is identical)")
+	flag.IntVar(&simJobsFlag, "sim-jobs", 1, "shard each simulation's CPUs across up to N host goroutines (1 = serial; output is identical for any value; composes with -jobs under a host-core cap)")
 	var telem telemetry.Flags
 	telem.Register()
 	telem.RegisterReport()
@@ -160,7 +166,7 @@ func main() {
 	}
 	defer telem.Close()
 
-	pool := &runner.Pool{Workers: *jobs}
+	pool := &runner.Pool{Workers: runner.CapWorkers(*jobs, simJobsFlag)}
 	if *progress {
 		pool.Progress = os.Stderr
 	}

@@ -72,6 +72,7 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-job completion lines (wall time, cache status) on stderr; stdout is unaffected")
 	list := flag.Bool("params", false, "list sweepable parameters")
 	noSkip := flag.Bool("no-skip", false, "disable quiescence skipping in the cycle loop (slower; output is identical)")
+	simJobs := flag.Int("sim-jobs", 1, "shard each simulation's CPUs across up to N host goroutines (1 = serial; output is identical for any value; composes with -jobs under a host-core cap)")
 	var telem telemetry.Flags
 	telem.Register()
 	telem.RegisterReport()
@@ -105,7 +106,7 @@ func main() {
 	}
 	defer telem.Close()
 
-	pool := &runner.Pool{Workers: *jobs}
+	pool := &runner.Pool{Workers: runner.CapWorkers(*jobs, *simJobs)}
 	if *progress {
 		pool.Progress = os.Stderr
 	}
@@ -132,6 +133,7 @@ func main() {
 		cfg := memsys.DefaultConfig()
 		p.set(&cfg, v)
 		cfg.NoSkip = *noSkip
+		cfg.SimJobs = *simJobs
 		if set != nil {
 			cfg.Telem = set.Sim
 		}

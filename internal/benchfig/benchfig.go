@@ -54,6 +54,19 @@ func MemBoundConfig() memsys.Config {
 	return cfg
 }
 
+// MXSMemBoundConfig is the memory-bound design point on the paper's
+// 4-CPU machine, for the detailed-CPU parallel-tick sentinel row: the
+// out-of-order cores spend most cycles with full MSHRs at staggered
+// times, so the sharded scheduler's per-CPU quiescence skip removes
+// no-op ticks the serial loop must execute (it can only skip cycles
+// where every CPU is blocked at once), and the heavy per-tick pipeline
+// work of the active CPUs overlaps across host cores.
+func MXSMemBoundConfig() memsys.Config {
+	cfg := MemBoundConfig()
+	cfg.NumCPUs = 4
+	return cfg
+}
+
 // Figures returns the benchmark matrix in the paper's figure order:
 // Figures 4-10 under Mipsy, Figure 11's three applications under MXS.
 func Figures() []Figure {
@@ -97,6 +110,11 @@ func Figures() []Figure {
 		}},
 		{"Figure6_Ocean_MemBound", core.ModelMipsy, MemBoundConfig, func() workload.Workload {
 			return workload.NewOcean(workload.OceanParams{N: 258, FineIter: 1, CoarseIt: 1})
+		}},
+		// Detailed-CPU memory-bound row: the parallel-tick (-sim-jobs)
+		// speedup sentinel. See MXSMemBoundConfig.
+		{"Figure11_MXS_MP3D_MemBound", core.ModelMXS, MXSMemBoundConfig, func() workload.Workload {
+			return workload.NewMP3D(workload.MP3DParams{Particles: 2048, Steps: 1})
 		}},
 	}
 }

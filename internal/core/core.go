@@ -204,13 +204,25 @@ type Machine struct {
 	// uses it for preemption timers.
 	Events event.Queue
 
-	// irq holds the per-CPU external interrupt lines. They are
-	// cross-CPU by design — the kernel running on one CPU raises the
-	// line of another — so the parallel tick must buffer raises at
-	// window boundaries or make them atomic; until then this is a
-	// declared item on the ownership work list.
-	//simlint:allow sharedmut — cross-CPU IRQ lines; parallel tick must buffer raises at window boundaries
-	irq []bool
+	// irq holds the per-CPU external interrupt lines behind the
+	// window-boundary arbitration protocol (see irqLines): event-phase
+	// raises land on the live lines immediately, tick-phase raises are
+	// buffered and merged onto the live lines at the next SimWindow grid
+	// boundary, and each CPU reads and acks only its own live line
+	// within a window. Both schedulers follow the same protocol, so
+	// delivery cycles are identical serial and parallel.
+	irq irqLines
+
+	// inTick distinguishes the two scheduler phases for RaiseIRQ: false
+	// while event callbacks run (coordinator phase — raises deliver
+	// immediately, as the guest kernel's preemption timers always have),
+	// true while CPUs tick (raises buffer until the next grid boundary).
+	inTick bool
+
+	// par is the parallel tick scheduler, built only when the
+	// configuration asks for sharding (SimJobs > 1 on a multi-CPU
+	// machine); nil means the serial loop runs unconditionally.
+	par *parSched
 
 	// skipped counts the cycles the quiescence-skipping scheduler
 	// fast-forwarded over instead of ticking (a pure speed metric:
@@ -228,16 +240,80 @@ type Machine struct {
 	newCore func(id int, ctx *cpu.Context) Core
 }
 
+// irqLines is the per-CPU external-interrupt state under the
+// window-boundary arbitration protocol the parallel tick requires and
+// the serial loop reproduces:
+//
+//   - live are the delivered lines. Within a scheduling window each
+//     line is read (PendingInterrupt) and cleared (AckInterrupt) only
+//     by its own CPU, and written by the coordinator phase (event
+//     callbacks, grid-boundary merges) only between windows — so no two
+//     goroutines ever touch a live line concurrently.
+//   - pending buffers raises made from tick phase (a trap handler
+//     running under some CPU's tick). Tick-phase code runs under the
+//     scheduler's serial-order shared-state grant, so pending is
+//     mutated exclusively; merge promotes it to live at the next
+//     SimWindow grid boundary, identically in both schedulers.
+//
+// The arbitration points are the methods below, declared as such for
+// the sharedmut analyzer: the classification is an enforced invariant
+// of the parallel scheduler, not documentation.
+type irqLines struct {
+	live    []bool
+	pending []bool
+	npend   int // live count of buffered raises; bounds the quiescence skip to the next merge
+}
+
+// raise asserts a line: immediately in coordinator phase, buffered to
+// the next grid boundary from tick phase.
+//
+//simlint:arbiter
+func (q *irqLines) raise(cpuID int, tickPhase bool) {
+	if tickPhase {
+		if !q.pending[cpuID] {
+			q.pending[cpuID] = true
+			q.npend++
+		}
+		return
+	}
+	q.live[cpuID] = true
+}
+
+// ack clears a CPU's own live line (interrupt taken).
+//
+//simlint:arbiter
+func (q *irqLines) ack(cpuID int) { q.live[cpuID] = false }
+
+// merge promotes buffered tick-phase raises onto the live lines; called
+// at SimWindow grid boundaries by both schedulers.
+//
+//simlint:arbiter
+func (q *irqLines) merge() {
+	if q.npend == 0 {
+		return
+	}
+	for i, p := range q.pending {
+		if p {
+			q.live[i] = true
+			q.pending[i] = false
+		}
+	}
+	q.npend = 0
+}
+
 // RaiseIRQ asserts the external interrupt line of a CPU; the CPU takes
 // the interrupt at its next instruction boundary (Mipsy) or after
-// draining its pipeline (MXS).
-func (m *Machine) RaiseIRQ(cpuID int) { m.irq[cpuID] = true }
+// draining its pipeline (MXS). Raised from an event callback (the
+// kernel's preemption timers) the line is live the same cycle; raised
+// from tick phase it is buffered and delivered at the next SimWindow
+// grid boundary, in both the serial and the parallel scheduler.
+func (m *Machine) RaiseIRQ(cpuID int) { m.irq.raise(cpuID, m.inTick) }
 
 // PendingInterrupt implements cpu.InterruptSource.
-func (m *Machine) PendingInterrupt(cpuID int) bool { return m.irq[cpuID] }
+func (m *Machine) PendingInterrupt(cpuID int) bool { return m.irq.live[cpuID] }
 
 // AckInterrupt implements cpu.InterruptSource.
-func (m *Machine) AckInterrupt(cpuID int) { m.irq[cpuID] = false }
+func (m *Machine) AckInterrupt(cpuID int) { m.irq.ack(cpuID) }
 
 // interruptible is implemented by CPU models that poll an external
 // interrupt line.
@@ -264,12 +340,18 @@ func NewMachine(a Arch, model CPUModel, cfg memsys.Config, memBytes uint32) (*Ma
 		Code:  &CodeRegistry{},
 		Trap:  cpu.NopTrap{},
 		Model: model,
-		irq:   make([]bool, cfg.NumCPUs),
+		irq: irqLines{
+			live:    make([]bool, cfg.NumCPUs),
+			pending: make([]bool, cfg.NumCPUs),
+		},
+	}
+	if cfg.SimJobs > 1 && cfg.NumCPUs > 1 {
+		m.par = newParSched(m, cfg.SimJobs)
 	}
 	switch model {
 	case ModelMipsy:
 		m.newCore = func(id int, ctx *cpu.Context) Core {
-			c := mipsy.New(id, ctx, m.Sys, m.Code.Cursor(), m.Trap, m.Img, cfg.LineBytes)
+			c := mipsy.New(id, ctx, m.gatedSys(id), m.Code.Cursor(), m.gatedTrap(id), m.Img, cfg.LineBytes)
 			if cfg.Prof != nil {
 				c.SetProfiler(cfg.Prof)
 			}
@@ -400,9 +482,13 @@ func (m *Machine) RunWindow(start, n uint64) (next uint64, halted bool, err erro
 	if len(m.CPUs) == 0 {
 		return start, false, fmt.Errorf("core: machine has no CPUs")
 	}
+	if m.parActive() {
+		return m.runParallel(start, n)
+	}
 	cpus := len(m.CPUs)
 	mets := m.Cfg.Metrics
 	noSkip := m.Cfg.NoSkip
+	grid := m.gridSize()
 	end := start + n
 	cyc := start
 	// Host telemetry: executed iterations accumulate locally and flush
@@ -417,7 +503,11 @@ func (m *Machine) RunWindow(start, n uint64) (next uint64, halted bool, err erro
 		tel.Windows.Inc()
 	}
 	for cyc < end {
+		if cyc%grid == 0 {
+			m.irq.merge()
+		}
 		m.Events.RunUntil(cyc)
+		m.inTick = true
 		alive := false
 		// Candidate quiescence horizon, gathered from the ticks' own
 		// return hints. It can only be stale in the safe direction: a
@@ -439,6 +529,7 @@ func (m *Machine) RunWindow(start, n uint64) (next uint64, halted bool, err erro
 				wake = w
 			}
 		}
+		m.inTick = false
 		if mets != nil && mets.Due(cyc) {
 			mets.Record(m.probe(cyc))
 		}
@@ -510,7 +601,7 @@ func (m *Machine) nextCycle(cyc, end uint64, mets *obsv.Metrics) uint64 {
 		running = true
 		// A pending interrupt means the kernel wants this CPU's
 		// attention; deliver on the per-cycle path.
-		if i < len(m.irq) && m.irq[i] {
+		if i < len(m.irq.live) && m.irq.live[i] {
 			return step
 		}
 		w := c.NextWork(cyc)
@@ -533,6 +624,13 @@ func (m *Machine) nextCycle(cyc, end uint64, mets *obsv.Metrics) uint64 {
 		}
 		if ev < target {
 			target = ev
+		}
+	}
+	if m.irq.npend > 0 {
+		// Buffered tick-phase raises deliver at the next grid boundary;
+		// the skip must not jump over the merge.
+		if b := gridNext(cyc, m.gridSize()); b < target {
+			target = b
 		}
 	}
 	if mets != nil {

@@ -85,10 +85,15 @@ func TestOwnershipReportShape(t *testing.T) {
 		"internal/memsys.reservations.valid": "shared-arbitrated",
 		// Each CPU owns its own store buffer (declared per-cpu).
 		"internal/memsys.writeBuf.pending": "per-cpu",
-		// The IRQ lines carry a justified hazard: the diagnostic is
-		// suppressed in source, but the report must keep the flag so the
-		// parallel-tick work list stays honest.
-		"internal/core.Machine.irq": "flagged",
+		// The IRQ hazard is fixed, not suppressed: raises funnel through
+		// irqLines' arbiter methods (tick-phase raises buffer into the
+		// pending set, merged at window boundaries), so the lines
+		// classify as arbitrated and the Machine field itself is never
+		// reassigned under a tick. No "flagged" class may reappear here —
+		// the parallel tick relies on it.
+		"internal/core.irqLines.pending": "shared-arbitrated",
+		"internal/core.irqLines.live":    "shared-arbitrated",
+		"internal/core.Machine.irq":      "tick-const",
 		// Construction-time state never written under a tick.
 		"internal/memsys.Config.NumCPUs": "tick-const",
 	} {

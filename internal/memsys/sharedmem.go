@@ -32,10 +32,12 @@ type SharedMem struct {
 	wbufs []writeBuf
 
 	// chkNodes is preallocated sanitizer scratch, nil unless Check is
-	// set. Sanitized runs stay serial: the scratch only exists when a
-	// Checker is attached, and the parallel tick will not offer
-	// -sanitize until the checker itself is made window-aware.
-	//simlint:allow sharedmut — sanitizer scratch; sanitized runs stay serial by contract
+	// set. It is written only inside sanityCheck, which runs under the
+	// memory system's serial-order arbitration: sanityCheck is called
+	// from Access, and every Access happens either on the serial cycle
+	// loop or under the parallel scheduler's tick-gate grant (in
+	// practice a Checker forces the serial loop outright — parActive
+	// refuses to shard sanitized runs).
 	chkNodes []check.NodeState
 }
 
@@ -186,7 +188,11 @@ func (s *SharedMem) Access(now uint64, cpu int, addr uint32, write bool) (Result
 
 // sanityCheck validates the completed transaction under -sanitize: the
 // completion time, then the MESI/inclusion invariants for the touched
-// line across all four private hierarchies.
+// line across all four private hierarchies. It is an arbitration point
+// for its scratch buffer: callers reach it only through Access, which
+// executes under the cycle loop's serial-order grant.
+//
+//simlint:arbiter
 func (s *SharedMem) sanityCheck(now uint64, cpu int, addr uint32, r Result) {
 	chk := s.cfg.Check
 	chk.CheckAccessTime(now, r.Done, cpu, addr)

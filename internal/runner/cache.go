@@ -51,7 +51,12 @@ func Key(job *Job) string {
 // fingerprint (and so the cache key) automatically instead of aliasing
 // against old entries. Func, pointer and interface fields — the
 // runtime attachments Trace/Metrics/Check and the SharedData
-// classifier — are skipped; Cacheable requires them nil.
+// classifier — are skipped; Cacheable requires them nil. SimJobs is
+// skipped by name: the parallel scheduler reproduces the serial grant
+// order exactly (output is byte-identical for any value, pinned by the
+// parallel-identity tests), so a result computed at one worker count is
+// the result at every worker count and sharding must not fragment the
+// cache.
 func Fingerprint(cfg *memsys.Config) string {
 	var sb strings.Builder
 	v := reflect.ValueOf(*cfg)
@@ -60,6 +65,9 @@ func Fingerprint(cfg *memsys.Config) string {
 		switch v.Field(i).Kind() {
 		case reflect.Func, reflect.Pointer, reflect.Interface:
 			continue
+		}
+		if t.Field(i).Name == "SimJobs" {
+			continue // output-neutral host-parallelism knob (see doc comment)
 		}
 		fmt.Fprintf(&sb, "%s=%v;", t.Field(i).Name, v.Field(i).Interface())
 	}

@@ -100,6 +100,19 @@ type SimMetrics struct {
 	CyclesTicked  Counter // cycle-loop iterations actually executed
 	CyclesSkipped Counter // cycles fast-forwarded by the quiescence-skipping scheduler
 	Windows       Counter // RunWindow invocations
+
+	// Parallel-tick instrumentation (zero when every machine runs the
+	// serial loop). ParWindows counts barrier-delimited scheduling
+	// windows; GateWaits counts tick-gate Sync calls that found a peer
+	// CPU still behind in the service rotation and had to spin — the
+	// direct measure of cross-shard serialization. LocalSkipped counts
+	// per-CPU cycles the workers fast-forwarded inside windows (the
+	// sharded counterpart of CyclesSkipped; it is per-CPU work, not
+	// machine cycles, so it is deliberately excluded from Cycles).
+	ParWindows   Counter
+	GateWaits    Counter
+	LocalSkipped Counter
+	ShardTicks   *CounterVec // per-shard executed CPU ticks: utilization balance
 }
 
 // register wires the cycle-loop metrics into the registry.
@@ -107,6 +120,10 @@ func (m *SimMetrics) register(r *Registry) {
 	r.Counter("sim_cycles_ticked_total", "cycle-loop iterations executed across all runs", &m.CyclesTicked)
 	r.Counter("sim_cycles_skipped_total", "cycles fast-forwarded by the quiescence-skipping scheduler", &m.CyclesSkipped)
 	r.Counter("sim_windows_total", "core RunWindow invocations", &m.Windows)
+	r.Counter("sim_par_windows_total", "parallel-tick scheduling windows executed", &m.ParWindows)
+	r.Counter("sim_gate_waits_total", "tick-gate syncs that spun for a rotation-order grant", &m.GateWaits)
+	r.Counter("sim_local_skipped_cpu_cycles_total", "per-CPU cycles fast-forwarded inside parallel windows", &m.LocalSkipped)
+	m.ShardTicks = r.CounterVec("sim_shard_ticks_total", "CPU ticks executed by each parallel-tick shard", "shard")
 }
 
 // Cycles returns total simulated cycles advanced (ticked + skipped) —
