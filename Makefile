@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet lint lint-baseline test race smoke race-smoke bench bench-gate bench-trace telemetry-smoke experiments-output clean
+.PHONY: all build check vet lint lint-baseline test race smoke race-smoke bench bench-gate bench-trace telemetry-smoke host-prof-smoke experiments-output clean
 
 all: build
 
@@ -95,10 +95,22 @@ experiments-output:
 	$(GO) run ./cmd/experiments > experiments_output.txt
 
 # bench-trace proves the disabled-instrumentation acceptance bar:
-# BenchmarkTracerDisabled and BenchmarkProfDisabled must report
-# 0 allocs/op (CI greps the output for exactly that).
+# BenchmarkTracerDisabled, BenchmarkProfDisabled and
+# BenchmarkHostProfDisabled must report 0 allocs/op (CI greps the
+# output for exactly that).
 bench-trace:
-	$(GO) test -run '^$$' -bench 'BenchmarkTracer|BenchmarkProf' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkTracer|BenchmarkProf|BenchmarkHostProf' -benchmem .
+
+# host-prof-smoke pins the host observatory's determinism contract on a
+# real sharded run: two parprof invocations over the memory-bound
+# 2-CPU MP3D point at -sim-jobs 2 must print byte-identical
+# schedule-shape reports (-sim-only strips the wall-clock half), and
+# the second run leaves its decomposition JSON behind for CI to upload.
+host-prof-smoke:
+	$(GO) run ./cmd/parprof -workload mp3d -quick -arch shared-mem -membound -cpus 2 -sim-jobs 2 -sim-only -json hostprof_smoke.json > hostprof_a.txt
+	$(GO) run ./cmd/parprof -workload mp3d -quick -arch shared-mem -membound -cpus 2 -sim-jobs 2 -sim-only -json hostprof_smoke.json > hostprof_b.txt
+	cmp hostprof_a.txt hostprof_b.txt
+	rm -f hostprof_a.txt hostprof_b.txt
 
 clean:
 	$(GO) clean ./...

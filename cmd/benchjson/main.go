@@ -46,6 +46,7 @@ import (
 
 	"cmpsim/internal/benchfig"
 	"cmpsim/internal/core"
+	"cmpsim/internal/hostprof"
 )
 
 // figureRow is one figure's measurements. Simulated cycle counts are
@@ -71,6 +72,15 @@ type figureRow struct {
 	ParNsPerOp       int64   `json:"par_ns_per_op,omitempty"`
 	ParSimCyclesPerS float64 `json:"par_sim_cycles_per_sec,omitempty"`
 	ParSpeedup       float64 `json:"par_speedup,omitempty"`
+
+	// GateWaitFrac is informational, never gated on its value: the share
+	// of busy worker time the parallel-tick run spent spinning at tick
+	// gates, measured by an internal/hostprof recorder on the untimed
+	// -sim-jobs 2 identity-check run (MXS rows; zero for serial-only
+	// rows). It explains a par_speedup gap — a row near 0 is
+	// barrier/serial-bound, a row near 0.5 loses half its worker time to
+	// cross-shard waiting. The gate only sanity-checks it stays in [0,1].
+	GateWaitFrac float64 `json:"gate_wait_frac"`
 }
 
 // report is the BENCH_figures.json schema. No timestamp on purpose:
@@ -175,9 +185,17 @@ func measureFigure(f benchfig.Figure, samples int) (figureRow, error) {
 			}
 		}
 	}
+	var gateWaitFrac float64
 	if par {
+		// The untimed -sim-jobs 2 identity check carries a hostprof
+		// recorder: it proves host-side observation composes with the
+		// parallel tick (the cycle identity below would catch any
+		// perturbation) and yields the row's informational
+		// gate_wait_frac, aggregated over the three architecture runs.
 		cfg := f.Config()
 		cfg.SimJobs = 2
+		rec := hostprof.New()
+		cfg.HostProf = rec
 		_, c2, err := benchfig.Run(f, &cfg)
 		if err != nil {
 			return figureRow{}, err
@@ -185,6 +203,7 @@ func measureFigure(f benchfig.Figure, samples int) (figureRow, error) {
 		if c2 != cycles {
 			return figureRow{}, fmt.Errorf("sim cycles diverge at -sim-jobs 2: serial %d vs parallel %d", cycles, c2)
 		}
+		gateWaitFrac = rec.Snapshot("", "", "").Decomp.GateShareOfBusy
 	}
 	row := figureRow{
 		Name:           f.Name,
@@ -205,6 +224,7 @@ func measureFigure(f benchfig.Figure, samples int) (figureRow, error) {
 		if len(parRatios) > 0 {
 			row.ParSpeedup = medianFloat64(parRatios)
 		}
+		row.GateWaitFrac = gateWaitFrac
 	}
 	return row, nil
 }
@@ -275,6 +295,13 @@ func runGate(baseline report, samples int) bool {
 					row.Speedup, 100*gateSpeedupTolerance, b.Speedup, lo, hi)
 				status = "FAIL"
 			}
+		}
+		// gate_wait_frac is informational — no baseline comparison — but
+		// a value outside [0,1] means the hostprof decomposition math
+		// broke, which is worth failing on.
+		if row.GateWaitFrac < 0 || row.GateWaitFrac > 1 {
+			fail(f.Name, "gate_wait_frac %.4f outside [0,1] (hostprof decomposition broken)", row.GateWaitFrac)
+			status = "FAIL"
 		}
 		if memBound && row.ParJobs > 0 && status == "ok" {
 			floor := gateParMinSpeedup

@@ -26,6 +26,7 @@ import (
 
 	"cmpsim/internal/check"
 	"cmpsim/internal/core"
+	"cmpsim/internal/hostprof"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/obsv"
 	"cmpsim/internal/prof"
@@ -118,6 +119,9 @@ func main() {
 
 		sanitize = flag.Bool("sanitize", false, "validate coherence/cycle invariants on every transaction (panics with an event trail on violation)")
 
+		hostProf    = flag.Bool("host-prof", false, "profile the parallel-tick host schedule (gate waits, speedup decomposition); unlike -prof this does NOT force the run serial")
+		hostProfOut = flag.String("host-prof-out", "", "write the host profile as JSON (cmd/parprof -in reads it) to this file")
+
 		traceChrome = flag.String("trace", "", "write a Chrome trace (chrome://tracing, Perfetto) to this file")
 		traceJSONL  = flag.String("trace-out", "", "write the raw event trace as JSON Lines (cmd/tracestats input) to this file")
 		traceBuf    = flag.Int("trace-buf", 1<<20, "trace ring-buffer capacity in events (oldest dropped)")
@@ -190,6 +194,7 @@ func main() {
 	rings := make([]*obsv.Ring, len(arches))
 	profs := make([]*regionProfile, len(arches))
 	checkers := make([]*check.Checker, len(arches))
+	hostRecs := make([]*hostprof.Recorder, len(arches))
 	for i, a := range arches {
 		acfg := cfg
 		var tracers []obsv.Tracer
@@ -214,6 +219,12 @@ func main() {
 		}
 		if *profFlag || *profOut != "" {
 			acfg.Prof = prof.New(acfg.NumCPUs, acfg.LineBytes)
+		}
+		if *hostProf || *hostProfOut != "" {
+			// Host-side observer: records the parallel scheduler's own
+			// execution, never sim state, so the run stays parallel.
+			hostRecs[i] = hostprof.New()
+			acfg.HostProf = hostRecs[i]
 		}
 		name := *wlName
 		q := *quick
@@ -286,6 +297,30 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Printf("wrote profile to %s\n", path)
+			}
+		}
+		if rec := hostRecs[i]; rec != nil {
+			hp := rec.Snapshot(*wlName, string(a), *model)
+			if *hostProf {
+				if err := hp.WriteReport(os.Stdout, *profTop, false); err != nil {
+					fmt.Fprintln(os.Stderr, "cmpsim:", err)
+					os.Exit(1)
+				}
+			}
+			if *hostProfOut != "" {
+				path := splicePath(*hostProfOut, string(a), len(arches) > 1)
+				f, err := os.Create(path)
+				if err == nil {
+					err = hp.WriteJSON(f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "cmpsim:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote host profile to %s\n", path)
 			}
 		}
 	}

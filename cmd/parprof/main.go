@@ -1,0 +1,222 @@
+// Command parprof runs a workload under the host-side execution
+// observatory (internal/hostprof) and renders how the sharded
+// parallel-tick scheduler actually spent the host's time: scheduling
+// window shape, per-worker tick balance, gate-wait attribution by
+// (waiter, laggard peer, gate site), and an Amdahl-style speedup
+// decomposition explaining the gap between ideal and measured -sim-jobs
+// scaling.
+//
+// The recorder observes the host schedule, never sim state, so —
+// unlike guest -trace/-prof — attaching it does NOT force the run
+// serial: simulated output stays byte-identical at any -sim-jobs (the
+// parallel-identity tests pin this). The "schedule shape" section of
+// the report is deterministic for a given worker count; the host-timing
+// sections are wall clock and vary run to run (-sim-only restricts the
+// report to the deterministic half, which is what the host-prof-smoke
+// CI check diffs).
+//
+// Usage:
+//
+//	parprof -workload mp3d -quick                   # all three architectures, 4 workers
+//	parprof -workload mp3d -quick -membound         # memory-bound sentinel parameters
+//	parprof -workload ear -arch shared-mem -sim-jobs 2
+//	parprof -workload mp3d -quick -json par.json    # also save raw profiles
+//	parprof -in par.shared-mem.json                 # re-render a saved profile
+//	parprof -workload fft -quick -trace host.trace  # Chrome host timeline
+//	parprof -workload fft -quick -jsonl host.jsonl  # tracestats -tracks host input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"cmpsim/internal/benchfig"
+	"cmpsim/internal/core"
+	"cmpsim/internal/hostprof"
+	"cmpsim/internal/memsys"
+	"cmpsim/internal/obsv"
+	"cmpsim/internal/runner"
+	"cmpsim/internal/telemetry"
+	"cmpsim/internal/workload"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parprof:", err)
+	os.Exit(1)
+}
+
+// splice inserts arch before the extension when several architectures
+// run in one invocation ("par.json" → "par.shared-mem.json").
+func splice(path, arch string, multi bool) string {
+	if !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return path[:len(path)-len(ext)] + "." + arch + ext
+}
+
+// writeFile creates path and hands it to fn, folding the close error
+// into fn's.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "", "workload to profile (see cmpsim -list)")
+		archStr  = flag.String("arch", "all", "architecture: shared-l1, shared-l2, shared-mem, or all")
+		model    = flag.String("model", "mxs", "CPU model: mipsy or mxs")
+		cpus     = flag.Int("cpus", 0, "override processor count (0 = configuration default)")
+		quick    = flag.Bool("quick", false, "use reduced data sets (smoke runs)")
+		membound = flag.Bool("membound", false, "use the memory-latency-bound sentinel parameters (internal/benchfig)")
+		simJobs  = flag.Int("sim-jobs", 4, "worker goroutines per simulation (the knob being profiled); output is byte-identical for any value")
+		top      = flag.Int("top", 15, "rows in the gate-wait table")
+		jobs     = flag.Int("jobs", 0, "max concurrent architecture runs (0 = GOMAXPROCS); the schedule-shape section is identical for any value")
+		progress = flag.Bool("progress", false, "print per-job completion lines on stderr; stdout is unaffected")
+		simOnly  = flag.Bool("sim-only", false, "print only the deterministic schedule-shape section (no wall-clock timings)")
+		jsonOut  = flag.String("json", "", "write each run's raw profile as JSON to this file (arch spliced in before the extension)")
+		folded   = flag.String("folded", "", "write folded host-time lines (flamegraph.pl input) to this file")
+		traceOut = flag.String("trace", "", "write the host-timeline Chrome trace (chrome://tracing, Perfetto) to this file")
+		jsonlOut = flag.String("jsonl", "", "write host-timeline events as JSONL (cmd/tracestats -tracks host input) to this file")
+		in       = flag.String("in", "", "render a previously saved profile JSON and exit (no simulation)")
+	)
+	var telem telemetry.Flags
+	telem.Register()
+	flag.Parse()
+
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := hostprof.ReadProfile(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.WriteReport(os.Stdout, *top, *simOnly); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *wlName == "" {
+		fmt.Fprintln(os.Stderr, "parprof: -workload is required (or -in to render a saved profile)")
+		os.Exit(2)
+	}
+
+	var arches []core.Arch
+	if *archStr == "all" {
+		arches = core.Arches()
+	} else {
+		arches = []core.Arch{core.Arch(*archStr)}
+	}
+
+	set, err := telem.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer telem.Close()
+
+	pool := &runner.Pool{Workers: *jobs}
+	if *progress {
+		pool.Progress = os.Stderr
+	}
+	if set != nil {
+		pool.Telem = set.Runner
+	}
+
+	variant := "full"
+	if *quick {
+		variant = "quick"
+	}
+	recs := make([]*hostprof.Recorder, len(arches))
+	archJobs := make([]runner.Job, len(arches))
+	for i, a := range arches {
+		cfg := memsys.DefaultConfig()
+		if *membound {
+			if core.CPUModel(*model) == core.ModelMXS {
+				cfg = benchfig.MXSMemBoundConfig()
+			} else {
+				cfg = benchfig.MemBoundConfig()
+			}
+		}
+		if *cpus > 0 {
+			cfg.NumCPUs = *cpus
+		}
+		cfg.SimJobs = *simJobs
+		recs[i] = hostprof.New()
+		cfg.HostProf = recs[i]
+		if set != nil {
+			cfg.Telem = set.Sim
+		}
+		name := *wlName
+		q := *quick
+		archJobs[i] = runner.Job{
+			Workload: func() (workload.Workload, error) {
+				if q {
+					return workload.NewQuick(name)
+				}
+				return workload.New(name)
+			},
+			WorkloadKey: name + "/" + variant,
+			Arch:        a,
+			Model:       core.CPUModel(*model),
+			Cfg:         cfg,
+			Tag:         name + "-" + string(a),
+		}
+	}
+
+	results := pool.Run(archJobs)
+	if err := runner.FirstErr(results); err != nil {
+		fatal(err)
+	}
+
+	multi := len(arches) > 1
+	for i, a := range arches {
+		p := recs[i].Snapshot(*wlName, string(a), *model)
+		if err := p.WriteReport(os.Stdout, *top, *simOnly); err != nil {
+			fatal(err)
+		}
+		if *jsonOut != "" {
+			path := splice(*jsonOut, string(a), multi)
+			if err := writeFile(path, p.WriteJSON); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote profile to %s\n", path)
+		}
+		if *folded != "" {
+			path := splice(*folded, string(a), multi)
+			if err := writeFile(path, p.WriteFolded); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote folded host time to %s\n", path)
+		}
+		if *traceOut != "" {
+			path := splice(*traceOut, string(a), multi)
+			if err := writeFile(path, p.WriteChromeTrace); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote host timeline to %s\n", path)
+		}
+		if *jsonlOut != "" {
+			path := splice(*jsonlOut, string(a), multi)
+			if err := writeFile(path, func(w io.Writer) error {
+				return obsv.WriteJSONL(w, p.Events())
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote host events to %s\n", path)
+		}
+	}
+}

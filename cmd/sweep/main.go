@@ -21,11 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"cmpsim/internal/core"
+	"cmpsim/internal/hostprof"
 	"cmpsim/internal/memsys"
 	"cmpsim/internal/runner"
 	"cmpsim/internal/telemetry"
@@ -73,6 +75,7 @@ func main() {
 	list := flag.Bool("params", false, "list sweepable parameters")
 	noSkip := flag.Bool("no-skip", false, "disable quiescence skipping in the cycle loop (slower; output is identical)")
 	simJobs := flag.Int("sim-jobs", 1, "shard each simulation's CPUs across up to N host goroutines (1 = serial; output is identical for any value; composes with -jobs under a host-core cap)")
+	hostProfOut := flag.String("host-prof-out", "", "write per-point host-schedule profiles as JSON (cmd/parprof -in reads them); the point tag is spliced in before the extension")
 	var telem telemetry.Flags
 	telem.Register()
 	telem.RegisterReport()
@@ -124,6 +127,7 @@ func main() {
 
 	var points []uint64
 	var sweepJobs []runner.Job
+	var hostRecs []*hostprof.Recorder
 	for _, vs := range strings.Split(*values, ",") {
 		v, err := strconv.ParseUint(strings.TrimSpace(vs), 10, 64)
 		if err != nil {
@@ -137,6 +141,14 @@ func main() {
 		if set != nil {
 			cfg.Telem = set.Sim
 		}
+		var hrec *hostprof.Recorder
+		if *hostProfOut != "" {
+			// Host-schedule observer: never forces the point serial, so
+			// -host-prof-out composes with -sim-jobs.
+			hrec = hostprof.New()
+			cfg.HostProf = hrec
+		}
+		hostRecs = append(hostRecs, hrec)
 		name := *wlName
 		points = append(points, v)
 		sweepJobs = append(sweepJobs, runner.Job{
@@ -170,5 +182,22 @@ func main() {
 			points[i], res.Cycles, base/float64(res.Cycles),
 			100*rep.L1D.ReplRate(), 100*rep.L1D.InvRate(),
 			100*rep.L2.ReplRate(), 100*rep.L2.InvRate())
+		if rec := hostRecs[i]; rec != nil {
+			hp := rec.Snapshot(*wlName, *archStr, *model)
+			ext := filepath.Ext(*hostProfOut)
+			path := (*hostProfOut)[:len(*hostProfOut)-len(ext)] + "." + sweepJobs[i].Tag + ext
+			f, err := os.Create(path)
+			if err == nil {
+				err = hp.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  [host-prof] wrote %s\n", path)
+		}
 	}
 }

@@ -1,0 +1,235 @@
+// Host-profiling composition suite: memsys.Config.HostProf is the one
+// observability attachment that rides the sharded parallel path instead
+// of forcing it serial. These tests pin the three sides of that
+// contract: (1) a run with a recorder attached at SimJobs > 1 stays on
+// the parallel path and its sim output is byte-identical to the serial
+// run, with or without host telemetry attached alongside; (2) the guest
+// per-event instruments (tracer, profiler, sanitizer) still force the
+// serial loop even when a host recorder is also attached — the recorder
+// then snapshots to an empty profile; (3) the disabled recording path
+// (nil receivers everywhere) is branch-only: 0 allocs/op.
+package cmpsim_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cmpsim"
+	"cmpsim/internal/check"
+	"cmpsim/internal/hostprof"
+	"cmpsim/internal/telemetry"
+	"cmpsim/internal/workload"
+)
+
+// runHostProf is runSharded plus an attached host recorder; it returns
+// the observable run and the recorder's snapshot.
+func runHostProf(t *testing.T, mk func() cmpsim.Workload, arch cmpsim.Arch, model cmpsim.CPUModel, simJobs int, telem *telemetry.SimMetrics) (parRun, *hostprof.Profile) {
+	t.Helper()
+	cfg := cmpsim.DefaultConfig()
+	cfg.SimJobs = simJobs
+	cfg.Metrics = cmpsim.NewMetrics(5000)
+	cfg.Telem = telem
+	rec := hostprof.New()
+	cfg.HostProf = rec
+	res, err := cmpsim.RunWorkload(mk(), arch, model, &cfg)
+	if err != nil {
+		t.Fatalf("%s/%s sim-jobs=%d host-prof: %v", arch, model, simJobs, err)
+	}
+	run := parRun{res: res, samples: cfg.Metrics.Samples(), hist: cfg.Metrics.Hist().String()}
+	return run, rec.Snapshot("mp3d", string(arch), string(model))
+}
+
+// requireParallelProfile fails unless the profile proves the run took
+// the sharded path and recorded a plausible schedule.
+func requireParallelProfile(t *testing.T, p *hostprof.Profile, jobs int) {
+	t.Helper()
+	if p.Workers == 0 {
+		t.Fatalf("sim-jobs=%d with HostProf attached never took the parallel path", jobs)
+	}
+	if p.Workers > jobs {
+		t.Errorf("workers=%d exceeds sim-jobs=%d", p.Workers, jobs)
+	}
+	if len(p.Worker) != p.Workers {
+		t.Errorf("worker stats rows %d != workers %d", len(p.Worker), p.Workers)
+	}
+	if p.Sched.Windows == 0 {
+		t.Error("profile recorded no scheduling windows")
+	}
+	if p.Sched.WindowCycles == 0 {
+		t.Error("profile recorded no window cycles")
+	}
+	var ticks uint64
+	for _, w := range p.Worker {
+		ticks += w.Ticks
+	}
+	if ticks == 0 {
+		t.Error("profile recorded no worker ticks")
+	}
+	d := p.Decomp
+	for _, f := range []float64{d.WorkFrac, d.GateWaitFrac, d.BarrierFrac, d.SerialFrac, d.GateShareOfBusy} {
+		if f < 0 || f > 1 {
+			t.Errorf("decomposition fraction %v outside [0,1]: %+v", f, d)
+		}
+	}
+}
+
+// TestHostProfStaysParallel is the core composition contract: attaching
+// a host recorder must not change one bit of sim output and must not
+// force the serial path.
+func TestHostProfStaysParallel(t *testing.T) {
+	mk := func() cmpsim.Workload {
+		return workload.NewMP3D(workload.MP3DParams{Particles: 512, Steps: 1})
+	}
+	ref := runSharded(t, mk, cmpsim.SharedMem, cmpsim.ModelMXS, 1)
+	for _, jobs := range []int{2, 4} {
+		par, p := runHostProf(t, mk, cmpsim.SharedMem, cmpsim.ModelMXS, jobs, nil)
+		diffParRuns(t, jobs, par, ref)
+		requireParallelProfile(t, p, jobs)
+	}
+}
+
+// TestHostProfComposesWithTelemetry pins that the two host-side
+// observers stack: live telemetry plus the host profiler, both
+// attached, still ride the parallel path with byte-identical output.
+func TestHostProfComposesWithTelemetry(t *testing.T) {
+	mk := func() cmpsim.Workload {
+		return workload.NewMP3D(workload.MP3DParams{Particles: 512, Steps: 1})
+	}
+	ref := runSharded(t, mk, cmpsim.SharedL2, cmpsim.ModelMXS, 1)
+	set := telemetry.New()
+	par, p := runHostProf(t, mk, cmpsim.SharedL2, cmpsim.ModelMXS, 2, set.Sim)
+	diffParRuns(t, 2, par, ref)
+	requireParallelProfile(t, p, 2)
+}
+
+// TestHostProfSerialRunEmpty: a recorder attached to a serial run
+// (SimJobs <= 1) stays unbound and snapshots to an empty profile whose
+// report says so — there is no host schedule to observe.
+func TestHostProfSerialRunEmpty(t *testing.T) {
+	mk := func() cmpsim.Workload {
+		return workload.NewMP3D(workload.MP3DParams{Particles: 256, Steps: 1})
+	}
+	_, p := runHostProf(t, mk, cmpsim.SharedMem, cmpsim.ModelMipsy, 1, nil)
+	if p.Workers != 0 || p.Sched.Windows != 0 || len(p.Waits) != 0 {
+		t.Fatalf("serial run produced a non-empty host profile: %+v", p)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteReport(&buf, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "never took the parallel path") {
+		t.Errorf("empty-profile report missing the serial-run notice:\n%s", buf.String())
+	}
+}
+
+// TestHostProfGuestInstrumentsStillSerial: the guest-observability
+// attachments keep their forced-serial contract even with a host
+// recorder attached — the host profile comes back empty and the sim
+// output matches the serial reference.
+func TestHostProfGuestInstrumentsStillSerial(t *testing.T) {
+	mk := func() cmpsim.Workload {
+		return workload.NewMP3D(workload.MP3DParams{Particles: 256, Steps: 1})
+	}
+	ref := runSharded(t, mk, cmpsim.SharedL2, cmpsim.ModelMXS, 1)
+	attach := map[string]func(cfg *cmpsim.Config){
+		"trace": func(cfg *cmpsim.Config) { cfg.Trace = cmpsim.NewTraceRing(1 << 16) },
+		"prof":  func(cfg *cmpsim.Config) { cfg.Prof = cmpsim.NewProfiler(cfg.NumCPUs, cfg.LineBytes) },
+		"check": func(cfg *cmpsim.Config) { cfg.Check = check.New(64) },
+	}
+	for name, set := range attach {
+		t.Run(name, func(t *testing.T) {
+			cfg := cmpsim.DefaultConfig()
+			cfg.SimJobs = 4
+			set(&cfg)
+			rec := hostprof.New()
+			cfg.HostProf = rec
+			res, err := cmpsim.RunWorkload(mk(), cmpsim.SharedL2, cmpsim.ModelMXS, &cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles != ref.res.Cycles {
+				t.Errorf("cycles diverge under forced-serial %s: %d vs %d", name, res.Cycles, ref.res.Cycles)
+			}
+			if p := rec.Snapshot("", "", ""); p.Workers != 0 {
+				t.Errorf("%s should force the serial path but host profile has %d workers", name, p.Workers)
+			}
+		})
+	}
+}
+
+// TestHostProfJSONRoundTrip: a profile written to JSON and read back
+// renders the identical report — cmd/parprof -in is lossless.
+func TestHostProfJSONRoundTrip(t *testing.T) {
+	mk := func() cmpsim.Workload {
+		return workload.NewMP3D(workload.MP3DParams{Particles: 512, Steps: 1})
+	}
+	_, p := runHostProf(t, mk, cmpsim.SharedMem, cmpsim.ModelMXS, 2, nil)
+	var want bytes.Buffer
+	if err := p.WriteReport(&want, 15, false); err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := p.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	back, err := hostprof.ReadProfile(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := back.WriteReport(&got, 15, false); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("report after JSON round trip diverges:\nwant:\n%s\ngot:\n%s", want.String(), got.String())
+	}
+}
+
+// TestHostProfDisabledZeroAlloc pins the disabled-path cost model: with
+// no recorder attached the scheduler's instrumentation calls hit nil
+// receivers and must allocate nothing.
+func TestHostProfDisabledZeroAlloc(t *testing.T) {
+	var rec *hostprof.Recorder
+	tk := rec.Track(0)
+	g := rec.Gate(0)
+	co := rec.Coord()
+	if tk != nil || g != nil || co != nil {
+		t.Fatal("nil recorder must hand out nil sub-recorders")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		wt := tk.WindowBegin(0)
+		st := g.SpinBegin()
+		g.SpinEnd(st, 1, hostprof.SiteAccess, 10)
+		tk.Skip(0, 10, 20)
+		tk.WindowEnd(wt, 100, 3)
+		ct := co.SerialBegin()
+		co.SerialEnd(ct)
+		bt := co.BarrierBegin()
+		co.BarrierEnd(bt, 0, 100)
+		co.WindowOpen(0, 100, hostprof.CutGrid)
+		rt := co.RunBegin()
+		co.RunEnd(rt)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled host-prof path allocates: %v allocs/op", allocs)
+	}
+}
+
+// BenchmarkHostProfDisabled measures the disabled recording path — the
+// cost every parallel tick pays when no recorder is attached. Gated at
+// 0 allocs/op in CI next to BenchmarkTracerDisabled/BenchmarkProfDisabled.
+func BenchmarkHostProfDisabled(b *testing.B) {
+	var rec *hostprof.Recorder
+	tk := rec.Track(0)
+	g := rec.Gate(0)
+	co := rec.Coord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wt := tk.WindowBegin(uint64(i))
+		st := g.SpinBegin()
+		g.SpinEnd(st, 1, hostprof.SiteMXSImage, uint64(i))
+		tk.WindowEnd(wt, uint64(i+100), 4)
+		co.WindowOpen(uint64(i), uint64(i+100), hostprof.CutGrid)
+	}
+}

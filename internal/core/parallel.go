@@ -47,6 +47,8 @@ import (
 	"sync/atomic"
 
 	"cmpsim/internal/cpu"
+	"cmpsim/internal/cyc"
+	"cmpsim/internal/hostprof"
 	"cmpsim/internal/memsys"
 )
 
@@ -84,23 +86,33 @@ type clockSlot struct {
 
 // cpuGate is one CPU's tick-gate state. tick/synced are written by the
 // owning worker at the top of every tick; Sync implements the
-// rotation-ordered admission spin. waits accumulates contended syncs
-// for telemetry and is drained by the coordinator between runs.
+// rotation-ordered admission spin. waits and siteWaits accumulate
+// contended syncs (total and by gate site) for telemetry and are
+// drained by the coordinator between runs; rec, when host profiling is
+// attached, additionally receives every contended spin with its peer,
+// site and duration.
 //
 //simlint:owned per-cpu — one gate per CPU, mutated only by the worker that owns the CPU (coordinator drains waits between barriers)
 type cpuGate struct {
-	s      *parSched
-	cpu    int
-	tick   uint64
-	synced bool
-	waits  uint64
-	_      [16]byte // pad to a cache line: gates are adjacent in one slice
+	s         *parSched
+	cpu       int
+	tick      uint64
+	synced    bool
+	waits     uint64
+	siteWaits [hostprof.NumSites]uint64
+	rec       *hostprof.GateRec
+	_         [24]byte // pad to two cache lines: gates are adjacent in one slice
 }
 
-// Sync implements cpu.TickGate: block until every peer CPU has left
-// this CPU's current cycle or sits behind it in the cycle's service
-// rotation. Idempotent within a tick; a no-op on the serial path.
-func (g *cpuGate) Sync() {
+// Sync implements cpu.TickGate — the detailed CPU model's
+// graduation-time guest-image read is the only caller that reaches the
+// gate without a site-tagged shim.
+func (g *cpuGate) Sync() { g.sync(hostprof.SiteMXSImage) }
+
+// sync blocks until every peer CPU has left this CPU's current cycle
+// or sits behind it in the cycle's service rotation. Idempotent within
+// a tick; a no-op on the serial path.
+func (g *cpuGate) sync(site hostprof.Site) {
 	s := g.s
 	if !s.active || g.synced {
 		return
@@ -115,12 +127,16 @@ func (g *cpuGate) Sync() {
 			continue
 		}
 		jPos := rotPos(j, t, n)
+		if cj := s.clocks[j].c.Load(); cj > t || (cj == t && jPos > myPos) {
+			continue // peer already past: no contention, no timestamps
+		}
+		spun = true
+		tok := g.rec.SpinBegin()
 		for spins := 0; ; spins++ {
 			cj := s.clocks[j].c.Load()
 			if cj > t || (cj == t && jPos > myPos) {
 				break
 			}
-			spun = true
 			// Yield early and often: with fewer host cores than
 			// workers (GOMAXPROCS=1 in the degenerate case) the peer
 			// cannot advance until this goroutine leaves the P.
@@ -128,9 +144,11 @@ func (g *cpuGate) Sync() {
 				runtime.Gosched()
 			}
 		}
+		g.rec.SpinEnd(tok, j, site, t)
 	}
 	if spun {
 		g.waits++
+		g.siteWaits[site]++
 	}
 }
 
@@ -183,6 +201,18 @@ type parSched struct {
 
 	jobs []chan winJob  // per-worker window hand-off (buffered, reused)
 	wg   sync.WaitGroup // window barrier
+
+	// hp is the optional host-side execution observatory
+	// (memsys.Config.HostProf). It observes the host schedule only —
+	// its presence must never force the serial path or perturb sim
+	// output (parActive deliberately ignores it; the parallel-identity
+	// tests pin byte-identical output with a recorder attached).
+	// hpBound tracks the lazy Bind: the recorder binds on the first
+	// runParallel call, not at construction, so a run that never takes
+	// the parallel path (guest instruments forced it serial) snapshots
+	// to an empty profile.
+	hp      *hostprof.Recorder
+	hpBound bool
 }
 
 // newParSched builds the scheduler for up to `jobs` workers over the
@@ -225,6 +255,7 @@ func newParSched(m *Machine, jobs int) *parSched {
 		s.shards = append(s.shards, ids)
 		s.jobs[w] = make(chan winJob, 1)
 	}
+	s.hp = m.Cfg.HostProf
 	return s
 }
 
@@ -244,27 +275,27 @@ type gatedSys struct {
 func (w gatedSys) Name() string { return w.sys.Name() }
 
 func (w gatedSys) Access(now uint64, cpu int, addr uint32, write bool) (memsys.Result, bool) {
-	w.g.Sync()
+	w.g.sync(hostprof.SiteAccess)
 	return w.sys.Access(now, cpu, addr, write)
 }
 
 func (w gatedSys) IFetch(now uint64, cpu int, addr uint32) memsys.Result {
-	w.g.Sync()
+	w.g.sync(hostprof.SiteIFetch)
 	return w.sys.IFetch(now, cpu, addr)
 }
 
 func (w gatedSys) LLReserve(cpu int, addr uint32) {
-	w.g.Sync()
+	w.g.sync(hostprof.SiteLLReserve)
 	w.sys.LLReserve(cpu, addr)
 }
 
 func (w gatedSys) SCCheck(cpu int, addr uint32) bool {
-	w.g.Sync()
+	w.g.sync(hostprof.SiteSCCheck)
 	return w.sys.SCCheck(cpu, addr)
 }
 
 func (w gatedSys) ClearReservation(cpu int) {
-	w.g.Sync()
+	w.g.sync(hostprof.SiteClearReserve)
 	w.sys.ClearReservation(cpu)
 }
 
@@ -278,7 +309,7 @@ type gatedTrap struct {
 }
 
 func (w gatedTrap) Syscall(now uint64, cpuID int, ctx *cpu.Context, num int32) uint64 {
-	w.g.Sync()
+	w.g.sync(hostprof.SiteSyscall)
 	return w.h.Syscall(now, cpuID, ctx, num)
 }
 
@@ -319,6 +350,19 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 	}
 
 	nw := len(s.shards)
+	// Lazy-bind the host observatory on the first window that actually
+	// takes the parallel path; the worker spawns below publish the
+	// recorders to their owning goroutines.
+	if s.hp != nil && !s.hpBound {
+		s.hp.Bind(len(s.clocks), s.shards)
+		for i := range s.gates {
+			s.gates[i].rec = s.hp.Gate(i)
+		}
+		s.hpBound = true
+	}
+	ctk := s.hp.Coord()
+	rtok := ctk.RunBegin()
+	defer ctk.RunEnd(rtok)
 	for w := 0; w < nw; w++ {
 		//simlint:allow determinism — the tick gate serializes every shared-state access into the serial loop's exact (cycle, rotation) order; identity pinned by the parallel byte-identity tests
 		go s.worker(w)
@@ -332,6 +376,10 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 	}()
 	telBase := cyc
 
+	// Coordinator-serial slices span everything between barriers: IRQ
+	// merge, event calendar, halt scans, window-edge computation,
+	// sampler probes, telemetry flushes.
+	stok := ctk.SerialBegin()
 	for cyc < end {
 		if cyc%grid == 0 {
 			m.irq.merge()
@@ -358,12 +406,15 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 		// loop samples after ticking the due cycle, so the due cycle
 		// must be a window's last cycle). All bounds exceed cyc, so the
 		// window is non-empty.
+		cut := hostprof.CutGrid
 		w1 := gridNext(cyc, grid)
 		if w1 > end {
 			w1 = end
+			cut = hostprof.CutEnd
 		}
 		if ev, ok := m.Events.NextCycle(); ok && ev < w1 {
 			w1 = ev
+			cut = hostprof.CutEvent
 		}
 		if mets != nil {
 			// Sampler-schedule bound, the same sanctioned obs→sim
@@ -373,6 +424,7 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 			//simlint:allow neutral — window edge only; output byte-identical (see parallel-identity tests)
 			if due := mets.NextDue(); due < w1 {
 				w1 = due + 1
+				cut = hostprof.CutSampler
 				if w1 <= cyc { // overdue sample: tick one cycle, record
 					w1 = cyc + 1
 				}
@@ -383,6 +435,9 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 			s.clocks[i].c.Store(cyc)
 			s.haltAt[i] = notHalted
 		}
+		ctk.WindowOpen(cyc, w1, cut)
+		ctk.SerialEnd(stok)
+		btok := ctk.BarrierBegin()
 		s.active = true
 		m.inTick = true
 		s.wg.Add(nw)
@@ -392,6 +447,8 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 		s.wg.Wait()
 		m.inTick = false
 		s.active = false
+		ctk.BarrierEnd(btok, cyc, w1)
+		stok = ctk.SerialBegin()
 
 		allDone := true
 		for _, c := range m.CPUs {
@@ -434,14 +491,22 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 		}
 	}
 
+	ctk.SerialEnd(stok)
 	if tel != nil {
 		if cyc > telBase {
 			tel.CyclesTicked.Add(cyc - telBase)
 		}
 		var gw uint64
 		for i := range s.gates {
-			gw += s.gates[i].waits
-			s.gates[i].waits = 0
+			g := &s.gates[i]
+			gw += g.waits
+			g.waits = 0
+			for site := range g.siteWaits {
+				if n := g.siteWaits[site]; n > 0 {
+					tel.GateWaitsBySite.With(hostprof.Site(site).String()).Add(n)
+					g.siteWaits[site] = 0
+				}
+			}
 		}
 		tel.GateWaits.Add(gw)
 		for w := 0; w < nw; w++ {
@@ -483,11 +548,14 @@ func (s *parSched) worker(w int) {
 	noSkip := m.Cfg.NoSkip
 	own := s.shards[w]
 	cur := make([]uint64, len(own))
+	tk := s.hp.Track(w)
 	for jb := range s.jobs[w] {
 		w0, w1 := jb.w0, jb.w1
 		if w0 == w1 {
 			return // quit signal
 		}
+		wtok := tk.WindowBegin(w0)
+		ticks0 := s.ticks[w]
 		for i := range cur {
 			cur[i] = w0
 		}
@@ -538,12 +606,14 @@ func (s *parSched) worker(w int) {
 			if !noSkip && wake > nt && nt < w1 {
 				if v := s.skipTo(c, id, t, nt, w1); v > nt {
 					s.skipped[w] += v - nt
+					tk.Skip(id, nt, v)
 					nt = v
 				}
 			}
 			s.clocks[id].c.Store(nt)
 			cur[best] = nt
 		}
+		tk.WindowEnd(wtok, w1, cyc.Sub(s.ticks[w], ticks0))
 		s.wg.Done()
 	}
 }

@@ -1,0 +1,447 @@
+// Package hostprof is the host-side execution observatory for the
+// sharded parallel-tick scheduler (internal/core/parallel.go). Where
+// internal/prof attributes *simulated* cycles to guest code, hostprof
+// attributes *host* nanoseconds to the scheduler's own moving parts:
+// which CPU spun on the tick gate, on which laggard peer, at which
+// shared-access site, for how long; how windows were cut and how long
+// they were; how much wall time the coordinator spent serialized
+// between barriers. That attribution is the work list the ROADMAP's
+// adaptive-window-sizing and shard-local-memory follow-ups need.
+//
+// The discipline is the same as obsv/prof/telemetry:
+//
+//   - nil-guarded: every recording method no-ops on a nil receiver, so
+//     the instrumented scheduler carries no branches beyond a pointer
+//     check and the disabled path costs 0 allocs/op;
+//   - output-neutral: hostprof observes the host schedule, never sim
+//     state, and nothing flows back (enforced by the neutral lint
+//     analyzer — internal/hostprof is an obs package). Unlike the
+//     guest-observability attachments (Trace/Prof/Check) it therefore
+//     must NOT force the serial path: a recorder rides along with
+//     -sim-jobs N and the sim output stays byte-identical;
+//   - deterministic snapshots: Snapshot sorts every table, and the
+//     schedule-shape half of the profile (window edges, cut reasons,
+//     tick and skip counts) is itself deterministic for a fixed worker
+//     count — only the wall-clock half varies run to run.
+//
+// Recording is lock-free after Bind: each worker goroutine owns its
+// TrackRec and the GateRecs of its shard's CPUs, the coordinator owns
+// the CoordRec, and all buffers are preallocated (appends beyond
+// capacity are counted as drops, never grown).
+package hostprof
+
+import (
+	"sync"
+	"time"
+
+	"cmpsim/internal/cyc"
+)
+
+// Site identifies the shared-state access point whose gate Sync spun.
+// The first six are the gatedSys/gatedTrap shims; SiteMXSImage is the
+// detailed CPU model's graduation-time guest-image read (cpu.TickGate).
+type Site uint8
+
+const (
+	SiteAccess Site = iota
+	SiteIFetch
+	SiteLLReserve
+	SiteSCCheck
+	SiteClearReserve
+	SiteSyscall
+	SiteMXSImage
+
+	NumSites
+)
+
+var siteNames = [NumSites]string{
+	SiteAccess:       "access",
+	SiteIFetch:       "ifetch",
+	SiteLLReserve:    "ll-reserve",
+	SiteSCCheck:      "sc-check",
+	SiteClearReserve: "clear-reserve",
+	SiteSyscall:      "syscall",
+	SiteMXSImage:     "mxs-image",
+}
+
+func (s Site) String() string {
+	if s < NumSites {
+		return siteNames[s]
+	}
+	return "?"
+}
+
+// SiteFromString is the inverse of Site.String (for reading profiles
+// back in); unknown names map to NumSites.
+func SiteFromString(s string) Site {
+	for i, n := range siteNames {
+		if n == s {
+			return Site(i)
+		}
+	}
+	return NumSites
+}
+
+// Cut identifies which bound won a scheduling window's edge.
+type Cut uint8
+
+const (
+	CutGrid    Cut = iota // SimWindow grid boundary
+	CutEnd                // RunWindow range end
+	CutEvent              // next event-calendar cycle
+	CutSampler            // next interval-sampler due cycle
+
+	NumCuts
+)
+
+var cutNames = [NumCuts]string{
+	CutGrid:    "grid",
+	CutEnd:     "end",
+	CutEvent:   "event",
+	CutSampler: "sampler",
+}
+
+func (c Cut) String() string {
+	if c < NumCuts {
+		return cutNames[c]
+	}
+	return "?"
+}
+
+// hist is a log2-bucketed histogram: bucket i counts values v with
+// bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket 0 counts zeros).
+type hist [65]uint64
+
+func (h *hist) add(v uint64) {
+	i := 0
+	for v != 0 {
+		v >>= 1
+		i++
+	}
+	h[i]++
+}
+
+// Timeline buffer capacities, per track. Slices past the cap are
+// dropped (and counted); aggregates are never dropped.
+const (
+	winCap  = 1 << 13
+	spinCap = 1 << 14
+	skipCap = 1 << 13
+)
+
+// SpinToken carries the spin start time between SpinBegin and SpinEnd;
+// WinToken, SerialToken and BarrierToken are the window-, serial- and
+// barrier-slice equivalents. All are flat values — recording allocates
+// nothing.
+type SpinToken struct{ t0 int64 }
+type WinToken struct{ t0 int64 }
+type SerialToken struct{ t0 int64 }
+type BarrierToken struct{ t0 int64 }
+
+// spinCell aggregates one (waiter, peer, site) combination.
+type spinCell struct{ count, ns uint64 }
+
+// Slice is one host-timeline interval (or instant, when T1 == T0),
+// normalized for the sinks: Track is the worker index, or Workers for
+// the coordinator track. Times are nanoseconds since the recorder's
+// epoch.
+type Slice struct {
+	Track int    `json:"track"`
+	Kind  string `json:"kind"` // window | spin | skip | serial | barrier | mark
+	T0    int64  `json:"t0"`
+	T1    int64  `json:"t1"`
+	CPU   int    `json:"cpu,omitempty"`  // spin: waiter; skip: skipping CPU
+	Peer  int    `json:"peer,omitempty"` // spin: laggard peer
+	Site  string `json:"site,omitempty"` // spin: gate site
+	Cut   string `json:"cut,omitempty"`  // mark: window cut reason
+	W0    uint64 `json:"w0,omitempty"`   // sim-cycle window start (skip: from)
+	W1    uint64 `json:"w1,omitempty"`   // sim-cycle window end (skip: to)
+}
+
+// TrackRec is one worker goroutine's timeline recorder, owned and
+// written exclusively by that worker.
+type TrackRec struct {
+	r    *Recorder
+	w    int
+	cpus []int
+
+	// Deterministic schedule shape (fixed worker count ⇒ fixed values).
+	windows    uint64
+	ticks      uint64
+	skipCount  uint64
+	skipCycles uint64
+	skipHist   hist
+
+	// Host wall-clock aggregates.
+	busyNs    uint64
+	spinNs    uint64
+	spinCount uint64
+
+	curT0 int64  // current window's host start
+	curW0 uint64 // current window's sim start
+
+	slices  []Slice
+	dropped uint64
+	_       [8]uint64 // keep adjacent tracks off one cache line
+}
+
+// emit appends a timeline slice, dropping (and counting) past capacity.
+func (t *TrackRec) emit(s Slice) {
+	if len(t.slices) == cap(t.slices) {
+		t.dropped++
+		return
+	}
+	t.slices = append(t.slices, s)
+}
+
+// WindowBegin marks the start of one scheduling window on this track.
+func (t *TrackRec) WindowBegin(w0 uint64) WinToken {
+	if t == nil {
+		return WinToken{}
+	}
+	t.curT0 = t.r.now()
+	t.curW0 = w0
+	return WinToken{t0: t.curT0}
+}
+
+// WindowEnd closes the window slice; ticks is the number of CPU ticks
+// the worker executed inside it.
+func (t *TrackRec) WindowEnd(tok WinToken, w1, ticks uint64) {
+	if t == nil {
+		return
+	}
+	t1 := t.r.now()
+	t.windows++
+	t.ticks += ticks
+	t.busyNs += uint64(t1 - tok.t0)
+	t.emit(Slice{Track: t.w, Kind: "window", T0: tok.t0, T1: t1, W0: t.curW0, W1: w1})
+}
+
+// Skip records one local quiescence fast-forward: CPU cpu jumped from
+// sim cycle `from` to `to` without ticking.
+func (t *TrackRec) Skip(cpu int, from, to uint64) {
+	if t == nil {
+		return
+	}
+	now := t.r.now()
+	dist := cyc.Sub(to, from)
+	t.skipCount++
+	t.skipCycles += dist
+	t.skipHist.add(dist)
+	t.emit(Slice{Track: t.w, Kind: "skip", T0: now, T1: now, CPU: cpu, W0: from, W1: to})
+}
+
+// GateRec is one CPU's gate-wait recorder, owned by the worker that
+// owns the CPU (it shares the owning worker's track).
+type GateRec struct {
+	tk    *TrackRec
+	cpu   int
+	cells []spinCell // peer*NumSites + site
+	hist  hist       // spin duration, log2 ns
+}
+
+// SpinBegin stamps the start of one contended gate spin.
+func (g *GateRec) SpinBegin() SpinToken {
+	if g == nil {
+		return SpinToken{}
+	}
+	return SpinToken{t0: g.tk.r.now()}
+}
+
+// SpinEnd attributes the finished spin to (waiter, peer, site) at sim
+// cycle `cycle` (the waiter's gate tick).
+func (g *GateRec) SpinEnd(tok SpinToken, peer int, site Site, cycle uint64) {
+	if g == nil {
+		return
+	}
+	t1 := g.tk.r.now()
+	d := uint64(t1 - tok.t0)
+	c := &g.cells[peer*int(NumSites)+int(site)]
+	c.count++
+	c.ns += d
+	g.hist.add(d)
+	g.tk.spinNs += d
+	g.tk.spinCount++
+	g.tk.emit(Slice{Track: g.tk.w, Kind: "spin", T0: tok.t0, T1: t1,
+		CPU: g.cpu, Peer: peer, Site: site.String(), W0: cycle})
+}
+
+// CoordRec is the coordinator's recorder: window cuts, the serial
+// stretches between barriers, and the barrier (parallel-region) spans.
+// Owned by the coordinating goroutine.
+type CoordRec struct {
+	r *Recorder
+
+	// Deterministic schedule shape.
+	windows    uint64
+	cuts       [NumCuts]uint64
+	winLenHist hist
+	simCycles  uint64
+
+	// Host wall clock.
+	serialNs  uint64
+	barrierNs uint64
+	runNs     uint64
+
+	slices  []Slice
+	dropped uint64
+}
+
+func (c *CoordRec) emit(s Slice) {
+	if len(c.slices) == cap(c.slices) {
+		c.dropped++
+		return
+	}
+	c.slices = append(c.slices, s)
+}
+
+// WindowOpen records the cut decision for the window [w0, w1) and a
+// sim-time correlation mark on the coordinator track.
+func (c *CoordRec) WindowOpen(w0, w1 uint64, cut Cut) {
+	if c == nil {
+		return
+	}
+	now := c.r.now()
+	length := cyc.Sub(w1, w0)
+	c.windows++
+	c.cuts[cut]++
+	c.winLenHist.add(length)
+	c.simCycles += length
+	c.emit(Slice{Track: c.r.nw, Kind: "mark", T0: now, T1: now, Cut: cut.String(), W0: w0, W1: w1})
+}
+
+// SerialBegin opens a coordinator-serial stretch (IRQ merge, event
+// calendar, window-edge computation, sampler probes).
+func (c *CoordRec) SerialBegin() SerialToken {
+	if c == nil {
+		return SerialToken{}
+	}
+	return SerialToken{t0: c.r.now()}
+}
+
+// SerialEnd closes the serial stretch.
+func (c *CoordRec) SerialEnd(tok SerialToken) {
+	if c == nil {
+		return
+	}
+	t1 := c.r.now()
+	c.serialNs += uint64(t1 - tok.t0)
+	c.emit(Slice{Track: c.r.nw, Kind: "serial", T0: tok.t0, T1: t1})
+}
+
+// BarrierBegin opens the parallel region: workers are running the
+// window and the coordinator is blocked on the barrier.
+func (c *CoordRec) BarrierBegin() BarrierToken {
+	if c == nil {
+		return BarrierToken{}
+	}
+	return BarrierToken{t0: c.r.now()}
+}
+
+// BarrierEnd closes the parallel region for window [w0, w1).
+func (c *CoordRec) BarrierEnd(tok BarrierToken, w0, w1 uint64) {
+	if c == nil {
+		return
+	}
+	t1 := c.r.now()
+	c.barrierNs += uint64(t1 - tok.t0)
+	c.emit(Slice{Track: c.r.nw, Kind: "barrier", T0: tok.t0, T1: t1, W0: w0, W1: w1})
+}
+
+// RunBegin stamps the start of one runParallel call; RunEnd accumulates
+// its wall time. Multiple RunWindow chunks of one simulation all
+// accumulate into the same recorder.
+func (c *CoordRec) RunBegin() SerialToken {
+	if c == nil {
+		return SerialToken{}
+	}
+	return SerialToken{t0: c.r.now()}
+}
+
+func (c *CoordRec) RunEnd(tok SerialToken) {
+	if c == nil {
+		return
+	}
+	c.runNs += uint64(c.r.now() - tok.t0)
+}
+
+// Recorder is the per-simulation observatory handed to the core through
+// memsys.Config.HostProf. Bind is called once by the parallel scheduler
+// (before any worker goroutine starts, so the recs it allocates are
+// published by the goroutine-creation edge); a recorder attached to a
+// run that never takes the parallel path stays unbound and snapshots to
+// an empty profile.
+type Recorder struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	nw     int
+	ncpu   int
+	shards [][]int
+	tracks []*TrackRec
+	gates  []*GateRec
+	coord  *CoordRec
+}
+
+// New builds an empty recorder. The epoch is captured here so every
+// timestamp is a small monotonic offset.
+func New() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// now returns nanoseconds since the recorder's epoch (monotonic).
+func (r *Recorder) now() int64 { return int64(time.Since(r.epoch)) }
+
+// Bind allocates the per-worker and per-CPU recorders for a scheduler
+// with the given shard layout (worker -> owned CPU ids). Idempotent:
+// later RunWindow chunks of the same run reuse the first binding.
+func (r *Recorder) Bind(ncpu int, shards [][]int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tracks != nil {
+		return
+	}
+	r.nw = len(shards)
+	r.ncpu = ncpu
+	r.shards = make([][]int, len(shards))
+	r.gates = make([]*GateRec, ncpu)
+	for w, ids := range shards {
+		own := make([]int, len(ids))
+		copy(own, ids)
+		r.shards[w] = own
+		tk := &TrackRec{r: r, w: w, cpus: own, slices: make([]Slice, 0, winCap+spinCap+skipCap)}
+		r.tracks = append(r.tracks, tk)
+		for _, id := range ids {
+			r.gates[id] = &GateRec{tk: tk, cpu: id, cells: make([]spinCell, ncpu*int(NumSites))}
+		}
+	}
+	r.coord = &CoordRec{r: r, slices: make([]Slice, 0, 3*winCap)}
+}
+
+// Track returns worker w's recorder (nil when unbound or disabled).
+func (r *Recorder) Track(w int) *TrackRec {
+	if r == nil || w >= len(r.tracks) {
+		return nil
+	}
+	return r.tracks[w]
+}
+
+// Gate returns CPU id's gate recorder (nil when unbound or disabled).
+func (r *Recorder) Gate(id int) *GateRec {
+	if r == nil || id >= len(r.gates) {
+		return nil
+	}
+	return r.gates[id]
+}
+
+// Coord returns the coordinator recorder (nil when unbound or
+// disabled).
+func (r *Recorder) Coord() *CoordRec {
+	if r == nil {
+		return nil
+	}
+	return r.coord
+}

@@ -1,0 +1,276 @@
+package hostprof
+
+import (
+	"sort"
+
+	"cmpsim/internal/cyc"
+)
+
+// HistBucket is one occupied log2 histogram bucket: Count values v with
+// 2^(Log2-1) <= v < 2^Log2 (Log2 == 0 counts zeros).
+type HistBucket struct {
+	Log2  int    `json:"log2"`
+	Count uint64 `json:"count"`
+}
+
+func sparse(h *hist) []HistBucket {
+	var out []HistBucket
+	for i, n := range h {
+		if n > 0 {
+			out = append(out, HistBucket{Log2: i, Count: n})
+		}
+	}
+	return out
+}
+
+func merge(dst, src *hist) {
+	for i, n := range src {
+		dst[i] += n
+	}
+}
+
+// SchedStats is the deterministic half of the profile: the schedule
+// shape (window edges, cut reasons, lengths) is a pure function of the
+// simulation and the worker count, so two runs of the same config at
+// the same -sim-jobs produce identical values — the host-prof-smoke
+// target diffs exactly this.
+type SchedStats struct {
+	Windows      uint64       `json:"windows"`
+	CutGrid      uint64       `json:"cut_grid"`
+	CutEnd       uint64       `json:"cut_end"`
+	CutEvent     uint64       `json:"cut_event"`
+	CutSampler   uint64       `json:"cut_sampler"`
+	WindowCycles uint64       `json:"window_cycles"` // sim cycles dispatched through windows
+	WindowLen    []HistBucket `json:"window_len"`    // log2 sim-cycle window lengths
+}
+
+// WorkerStats is one worker goroutine's totals. Windows/Ticks/Skip* are
+// deterministic (schedule shape); BusyNs/SpinNs/SpinCount are host wall
+// clock.
+type WorkerStats struct {
+	Worker     int          `json:"worker"`
+	CPUs       []int        `json:"cpus"`
+	Windows    uint64       `json:"windows"`
+	Ticks      uint64       `json:"ticks"`
+	SkipCount  uint64       `json:"skip_count"`
+	SkipCycles uint64       `json:"skip_cycles"`
+	SkipDist   []HistBucket `json:"skip_dist,omitempty"` // log2 sim-cycle skip distances
+	BusyNs     uint64       `json:"busy_ns"`
+	SpinNs     uint64       `json:"spin_ns"`
+	SpinCount  uint64       `json:"spin_count"`
+}
+
+// WaitStats attributes gate-wait time to one (waiter CPU, laggard peer
+// CPU, gate site) combination.
+type WaitStats struct {
+	Waiter int    `json:"waiter"`
+	Peer   int    `json:"peer"`
+	Site   string `json:"site"`
+	Count  uint64 `json:"count"`
+	Ns     uint64 `json:"ns"`
+}
+
+// CoordStats is the coordinator's wall-clock totals: SerialNs is time
+// spent serialized between barriers (IRQ merge, event calendar, window
+// edges, sampler probes), BarrierNs the parallel-region spans, RunNs
+// the whole parallel-loop wall time.
+type CoordStats struct {
+	SerialNs  uint64 `json:"serial_ns"`
+	BarrierNs uint64 `json:"barrier_ns"`
+	RunNs     uint64 `json:"run_ns"`
+}
+
+// DecompStats is the Amdahl-style speedup decomposition over total
+// worker-time (workers x run wall clock): WorkFrac is useful tick work,
+// GateWaitFrac the tick-gate spin share, BarrierFrac worker idle inside
+// parallel regions (load imbalance), SerialFrac worker idle while the
+// coordinator runs serialized. The four sum to ~1; the gap to
+// WorkFrac == 1 is exactly the lost speedup. GateShareOfBusy is
+// SpinNs/BusyNs — the fraction of in-window worker time wasted
+// spinning, the benchjson gate_wait_frac column.
+type DecompStats struct {
+	WorkFrac        float64 `json:"work_frac"`
+	GateWaitFrac    float64 `json:"gate_wait_frac"`
+	BarrierFrac     float64 `json:"barrier_frac"`
+	SerialFrac      float64 `json:"serial_frac"`
+	GateShareOfBusy float64 `json:"gate_share_of_busy"`
+}
+
+// Profile is a deterministic-ordered snapshot of one simulation's host
+// schedule, JSON round-trippable for cmd/parprof -json/-in.
+type Profile struct {
+	Workload string  `json:"workload,omitempty"`
+	Arch     string  `json:"arch,omitempty"`
+	Model    string  `json:"model,omitempty"`
+	CPUs     int     `json:"cpus"`
+	Workers  int     `json:"workers"` // 0: the run never took the parallel path
+	Shards   [][]int `json:"shards,omitempty"`
+
+	Sched    SchedStats    `json:"sched"`
+	Worker   []WorkerStats `json:"worker_stats,omitempty"`
+	Waits    []WaitStats   `json:"waits,omitempty"`
+	WaitHist []HistBucket  `json:"wait_hist,omitempty"` // log2 spin ns, all CPUs
+	Coord    CoordStats    `json:"coord"`
+	Decomp   DecompStats   `json:"decomp"`
+
+	Slices        []Slice `json:"slices,omitempty"`
+	DroppedSlices uint64  `json:"dropped_slices,omitempty"`
+}
+
+// Snapshot assembles the profile: every table sorted, histograms
+// sparse, the decomposition computed. Safe to call on a nil or unbound
+// recorder (a serial run): the result is an empty profile with
+// Workers == 0.
+func (r *Recorder) Snapshot(workload, arch, model string) *Profile {
+	p := &Profile{Workload: workload, Arch: arch, Model: model}
+	if r == nil {
+		return p
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.coord == nil {
+		return p
+	}
+	p.CPUs = r.ncpu
+	p.Workers = r.nw
+	p.Shards = r.shards
+
+	c := r.coord
+	p.Sched = SchedStats{
+		Windows:      c.windows,
+		CutGrid:      c.cuts[CutGrid],
+		CutEnd:       c.cuts[CutEnd],
+		CutEvent:     c.cuts[CutEvent],
+		CutSampler:   c.cuts[CutSampler],
+		WindowCycles: c.simCycles,
+		WindowLen:    sparse(&c.winLenHist),
+	}
+	p.Coord = CoordStats{SerialNs: c.serialNs, BarrierNs: c.barrierNs, RunNs: c.runNs}
+
+	for _, tk := range r.tracks {
+		p.Worker = append(p.Worker, WorkerStats{
+			Worker:     tk.w,
+			CPUs:       tk.cpus,
+			Windows:    tk.windows,
+			Ticks:      tk.ticks,
+			SkipCount:  tk.skipCount,
+			SkipCycles: tk.skipCycles,
+			SkipDist:   sparse(&tk.skipHist),
+			BusyNs:     tk.busyNs,
+			SpinNs:     tk.spinNs,
+			SpinCount:  tk.spinCount,
+		})
+	}
+
+	var wh hist
+	for waiter, g := range r.gates {
+		if g == nil {
+			continue
+		}
+		merge(&wh, &g.hist)
+		for peer := 0; peer < r.ncpu; peer++ {
+			for s := Site(0); s < NumSites; s++ {
+				cell := g.cells[peer*int(NumSites)+int(s)]
+				if cell.count == 0 {
+					continue
+				}
+				p.Waits = append(p.Waits, WaitStats{
+					Waiter: waiter, Peer: peer, Site: s.String(),
+					Count: cell.count, Ns: cell.ns,
+				})
+			}
+		}
+	}
+	// Gate iteration above is already (waiter, peer, site)-ordered; sort
+	// anyway so the invariant survives refactors.
+	sort.Slice(p.Waits, func(i, j int) bool {
+		a, b := p.Waits[i], p.Waits[j]
+		if a.Waiter != b.Waiter {
+			return a.Waiter < b.Waiter
+		}
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		return a.Site < b.Site
+	})
+	p.WaitHist = sparse(&wh)
+
+	for _, tk := range r.tracks {
+		p.Slices = append(p.Slices, tk.slices...)
+		p.DroppedSlices += tk.dropped
+	}
+	p.Slices = append(p.Slices, c.slices...)
+	p.DroppedSlices += c.dropped
+	sort.Slice(p.Slices, func(i, j int) bool {
+		a, b := p.Slices[i], p.Slices[j]
+		if a.T0 != b.T0 {
+			return a.T0 < b.T0
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.CPU != b.CPU {
+			return a.CPU < b.CPU
+		}
+		return a.W0 < b.W0
+	})
+
+	p.Decomp = decompose(p)
+	return p
+}
+
+// decompose computes the speedup decomposition from the profile's
+// aggregate times. Total worker-time is Workers x RunNs; worker busy
+// time nests inside barrier spans and spin time inside busy time, so
+// the residuals are clamped at zero against wall-clock skew.
+func decompose(p *Profile) DecompStats {
+	var busy, spin uint64
+	for _, w := range p.Worker {
+		busy += w.BusyNs
+		spin += w.SpinNs
+	}
+	nw := uint64(p.Workers)
+	denom := float64(nw * p.Coord.RunNs)
+	var d DecompStats
+	if busy > 0 {
+		d.GateShareOfBusy = float64(spin) / float64(busy)
+	}
+	if denom <= 0 {
+		return d
+	}
+	work := cyc.Sub(busy, spin)
+	barIdle := clampSub(nw*p.Coord.BarrierNs, busy)
+	serIdle := nw * min64(p.Coord.SerialNs, p.Coord.RunNs)
+	d.WorkFrac = clampFrac(float64(work) / denom)
+	d.GateWaitFrac = clampFrac(float64(spin) / denom)
+	d.BarrierFrac = clampFrac(float64(barIdle) / denom)
+	d.SerialFrac = clampFrac(float64(serIdle) / denom)
+	return d
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+func clampFrac(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

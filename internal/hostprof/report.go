@@ -1,0 +1,264 @@
+package hostprof
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"cmpsim/internal/cyc"
+	"cmpsim/internal/obsv"
+)
+
+// WriteJSON writes the profile as indented JSON (cmd/parprof -json; read
+// back with ReadProfile for a byte-identical re-render).
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadProfile parses a profile written by WriteJSON.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("hostprof: bad profile JSON: %w", err)
+	}
+	return &p, nil
+}
+
+func fmtNs(ns uint64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func fmtHist(buckets []HistBucket) string {
+	if len(buckets) == 0 {
+		return "(empty)"
+	}
+	s := ""
+	for i, b := range buckets {
+		if i > 0 {
+			s += " "
+		}
+		if b.Log2 == 0 {
+			s += fmt.Sprintf("0:%d", b.Count)
+		} else {
+			s += fmt.Sprintf("2^%d:%d", b.Log2-1, b.Count)
+		}
+	}
+	return s
+}
+
+func pct(f float64) string { return fmt.Sprintf("%5.1f%%", 100*f) }
+
+// WriteReport renders the profile as text tables: first the
+// deterministic schedule-shape section (identical across runs at a
+// fixed -sim-jobs — the host-prof-smoke diff target), then, unless
+// simOnly, the wall-clock section with the speedup decomposition and
+// the top-N gate-wait attribution table.
+func (p *Profile) WriteReport(w io.Writer, top int, simOnly bool) error {
+	bw := bufio.NewWriter(w)
+	id := p.Workload
+	if p.Arch != "" {
+		id += " " + p.Arch
+	}
+	if p.Model != "" {
+		id += "/" + p.Model
+	}
+	fmt.Fprintf(bw, "host profile: %s\n", id)
+	if p.Workers == 0 {
+		fmt.Fprintf(bw, "  (run never took the parallel path — use -sim-jobs > 1 on a multi-CPU config)\n")
+		return bw.Flush()
+	}
+
+	fmt.Fprintf(bw, "\n=== schedule shape (deterministic at %d workers) ===\n", p.Workers)
+	fmt.Fprintf(bw, "workers: %d over %d cpus, shards:", p.Workers, p.CPUs)
+	for w, ids := range p.Shards {
+		fmt.Fprintf(bw, " %d:%v", w, ids)
+	}
+	fmt.Fprintf(bw, "\nwindows: %d (cut: grid %d, end %d, event %d, sampler %d), %d sim cycles\n",
+		p.Sched.Windows, p.Sched.CutGrid, p.Sched.CutEnd, p.Sched.CutEvent,
+		p.Sched.CutSampler, p.Sched.WindowCycles)
+	fmt.Fprintf(bw, "window length (sim cycles, log2): %s\n", fmtHist(p.Sched.WindowLen))
+	fmt.Fprintf(bw, "%8s %-12s %10s %12s %10s %14s\n", "worker", "cpus", "windows", "ticks", "skips", "skip-cycles")
+	for _, ws := range p.Worker {
+		fmt.Fprintf(bw, "%8d %-12s %10d %12d %10d %14d\n",
+			ws.Worker, fmt.Sprint(ws.CPUs), ws.Windows, ws.Ticks, ws.SkipCount, ws.SkipCycles)
+	}
+	for _, ws := range p.Worker {
+		if len(ws.SkipDist) > 0 {
+			fmt.Fprintf(bw, "worker %d skip distance (sim cycles, log2): %s\n", ws.Worker, fmtHist(ws.SkipDist))
+		}
+	}
+	if simOnly {
+		return bw.Flush()
+	}
+
+	fmt.Fprintf(bw, "\n=== host timing (wall clock; varies run to run) ===\n")
+	fmt.Fprintf(bw, "run wall %s, coordinator serial %s, parallel regions %s\n",
+		fmtNs(p.Coord.RunNs), fmtNs(p.Coord.SerialNs), fmtNs(p.Coord.BarrierNs))
+	d := p.Decomp
+	fmt.Fprintf(bw, "speedup decomposition (share of %d x run-wall worker-time):\n", p.Workers)
+	fmt.Fprintf(bw, "  work %s  gate-wait %s  barrier-idle %s  coordinator-serial %s\n",
+		pct(d.WorkFrac), pct(d.GateWaitFrac), pct(d.BarrierFrac), pct(d.SerialFrac))
+	fmt.Fprintf(bw, "  gate-wait share of busy worker time: %s\n", pct(d.GateShareOfBusy))
+	fmt.Fprintf(bw, "%8s %14s %14s %12s\n", "worker", "busy", "spinning", "spins")
+	for _, ws := range p.Worker {
+		fmt.Fprintf(bw, "%8d %14s %14s %12d\n", ws.Worker, fmtNs(ws.BusyNs), fmtNs(ws.SpinNs), ws.SpinCount)
+	}
+	fmt.Fprintf(bw, "spin duration (ns, log2): %s\n", fmtHist(p.WaitHist))
+
+	if len(p.Waits) > 0 {
+		waits := make([]WaitStats, len(p.Waits))
+		copy(waits, p.Waits)
+		sort.Slice(waits, func(i, j int) bool {
+			a, b := waits[i], waits[j]
+			if a.Ns != b.Ns {
+				return a.Ns > b.Ns
+			}
+			if a.Waiter != b.Waiter {
+				return a.Waiter < b.Waiter
+			}
+			if a.Peer != b.Peer {
+				return a.Peer < b.Peer
+			}
+			return a.Site < b.Site
+		})
+		if top > 0 && len(waits) > top {
+			waits = waits[:top]
+		}
+		fmt.Fprintf(bw, "top gate waits (waiter spins until peer passes):\n")
+		fmt.Fprintf(bw, "%8s %6s %-14s %10s %14s\n", "waiter", "peer", "site", "count", "spun")
+		for _, ws := range waits {
+			fmt.Fprintf(bw, "%8d %6d %-14s %10d %14s\n", ws.Waiter, ws.Peer, ws.Site, ws.Count, fmtNs(ws.Ns))
+		}
+	}
+	if p.DroppedSlices > 0 {
+		fmt.Fprintf(bw, "timeline: %d slices dropped (aggregates above are complete)\n", p.DroppedSlices)
+	}
+	return bw.Flush()
+}
+
+// WriteFolded writes collapsed flamegraph stacks (ns weights): per
+// worker the useful work, barrier idle and per-(site, peer-pair) gate
+// waits, plus the coordinator serial time.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "coordinator;serial %d\n", p.Coord.SerialNs)
+	cpuWorker := map[int]int{}
+	for wi, ids := range p.Shards {
+		for _, id := range ids {
+			cpuWorker[id] = wi
+		}
+	}
+	for _, ws := range p.Worker {
+		fmt.Fprintf(bw, "worker%d;work %d\n", ws.Worker, clampSub(ws.BusyNs, ws.SpinNs))
+		fmt.Fprintf(bw, "worker%d;barrier-idle %d\n", ws.Worker, clampSub(p.Coord.BarrierNs, ws.BusyNs))
+	}
+	for _, ws := range p.Waits {
+		fmt.Fprintf(bw, "worker%d;gate-wait;%s;cpu%d-on-cpu%d %d\n",
+			cpuWorker[ws.Waiter], ws.Site, ws.Waiter, ws.Peer, ws.Ns)
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace writes the host timeline in the Chrome trace-event
+// format (chrome://tracing, Perfetto), following the obsv sink's
+// layout idiom: one track per worker goroutine plus the coordinator,
+// "X" slices for windows/spins/serial/barrier spans, instants for
+// skips and the sim-time window-boundary marks. One microsecond of
+// trace time is one microsecond of host time.
+func (p *Profile) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	emit(`{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"host scheduler"}}`)
+	for w, ids := range p.Shards {
+		emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"worker %d cpus %v"}}`, w, w, ids)
+	}
+	emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"coordinator"}}`, p.Workers)
+
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	dur := func(s Slice) float64 {
+		d := us(s.T1 - s.T0)
+		if d <= 0 {
+			return 0.001
+		}
+		return d
+	}
+	for _, s := range p.Slices {
+		switch s.Kind {
+		case "window":
+			emit(`{"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"name":"window","args":{"w0":%d,"w1":%d}}`,
+				s.Track, us(s.T0), dur(s), s.W0, s.W1)
+		case "spin":
+			emit(`{"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"name":"spin %s","args":{"waiter":%d,"peer":%d,"cycle":%d}}`,
+				s.Track, us(s.T0), dur(s), s.Site, s.CPU, s.Peer, s.W0)
+		case "skip":
+			emit(`{"ph":"i","pid":0,"tid":%d,"ts":%.3f,"s":"t","name":"skip","args":{"cpu":%d,"from":%d,"to":%d}}`,
+				s.Track, us(s.T0), s.CPU, s.W0, s.W1)
+		case "serial":
+			emit(`{"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"name":"serial","args":{}}`,
+				s.Track, us(s.T0), dur(s))
+		case "barrier":
+			emit(`{"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"name":"barrier","args":{"w0":%d,"w1":%d}}`,
+				s.Track, us(s.T0), dur(s), s.W0, s.W1)
+		case "mark":
+			emit(`{"ph":"i","pid":0,"tid":%d,"ts":%.3f,"s":"t","name":"window %s","args":{"w0":%d,"w1":%d}}`,
+				s.Track, us(s.T0), s.Cut, s.W0, s.W1)
+		}
+	}
+	if _, err := io.WriteString(bw, "\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func clamp32(v uint64) uint32 {
+	if v > 1<<32-1 {
+		return 1<<32 - 1
+	}
+	return uint32(v)
+}
+
+// Events converts the profile's timeline to obsv host-track events
+// (EvHostWindow/EvHostSpin/EvHostSkip/EvHostSerial/EvHostBarrier) so it
+// can ride the obsv JSONL sink and be summarized by cmd/tracestats
+// -tracks host. Field use per kind is documented on the obsv constants.
+func (p *Profile) Events() []obsv.Event {
+	var out []obsv.Event
+	for _, s := range p.Slices {
+		d := uint64(s.T1 - s.T0)
+		wlen := clamp32(cyc.Sub(s.W1, s.W0))
+		switch s.Kind {
+		case "window":
+			out = append(out, obsv.Event{Kind: obsv.EvHostWindow, Cycle: s.W0,
+				CPU: int8(s.Track), Addr: wlen, Arg: clamp32(d / 1e3)})
+		case "spin":
+			out = append(out, obsv.Event{Kind: obsv.EvHostSpin, Cycle: s.W0,
+				CPU: int8(s.CPU), Addr: uint32(s.Peer), Arg: clamp32(d),
+				Arg2: uint32(SiteFromString(s.Site))})
+		case "skip":
+			out = append(out, obsv.Event{Kind: obsv.EvHostSkip, Cycle: s.W0,
+				CPU: int8(s.CPU), Arg: wlen})
+		case "serial":
+			out = append(out, obsv.Event{Kind: obsv.EvHostSerial, Cycle: s.W0,
+				CPU: -1, Arg: clamp32(d / 1e3)})
+		case "barrier":
+			out = append(out, obsv.Event{Kind: obsv.EvHostBarrier, Cycle: s.W0,
+				CPU: -1, Arg: clamp32(d / 1e3), Arg2: wlen})
+		}
+	}
+	return out
+}

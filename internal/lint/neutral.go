@@ -56,6 +56,7 @@ var NeutralAnalyzer = &Analyzer{
 // obsPackageSuffixes identify the observability surface.
 var obsPackageSuffixes = []string{
 	"internal/obsv", "internal/prof", "internal/telemetry", "internal/check",
+	"internal/hostprof",
 }
 
 func isObsPkgPath(path string) bool {

@@ -1,0 +1,26 @@
+// Package hostprof is the neutral fixture's stand-in host-schedule
+// observer. The test preloads it under the import path
+// "cmpsim/lintfixture/internal/hostprof", whose suffix makes the
+// analyzer treat its declarations as observability state — the real
+// internal/hostprof is attached to the parallel tick scheduler, where
+// an observation leaking into sim state would break the byte-identical
+// output guarantee.
+package hostprof
+
+// SpinToken mimics the begin/end timing token: an obs-owned value the
+// simulator may hold and hand back, but never consume.
+type SpinToken struct {
+	t0 int64
+}
+
+// Recorder mimics the gate-wait recorder.
+type Recorder struct {
+	spins uint64
+}
+
+func (r *Recorder) SpinBegin() SpinToken { return SpinToken{t0: 1} }
+
+func (r *Recorder) SpinEnd(tok SpinToken, peer int) { r.spins++ }
+
+// Spins produces observation data the simulator must not consume.
+func (r *Recorder) Spins() uint64 { return r.spins }

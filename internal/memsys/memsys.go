@@ -15,6 +15,7 @@ import (
 	"cmpsim/internal/cache"
 	"cmpsim/internal/check"
 	"cmpsim/internal/coherence"
+	"cmpsim/internal/hostprof"
 	"cmpsim/internal/interconnect"
 	"cmpsim/internal/obsv"
 	"cmpsim/internal/prof"
@@ -188,6 +189,20 @@ type Config struct {
 	//
 	//simlint:cachekey-exempt — output-neutral by contract (enforced by the neutral analyzer)
 	Telem *telemetry.SimMetrics
+
+	// HostProf, when non-nil, attaches the host-side execution
+	// observatory (package hostprof) to the parallel-tick scheduler:
+	// gate-wait attribution by (waiter, peer, site), window cut reasons
+	// and lengths, local-skip distances, coordinator serial time. Like
+	// Telem — and unlike the guest attachments Trace/Prof/Check — it
+	// observes the host schedule, never sim state, so it does NOT force
+	// the serial path and never contributes to the cache key; it does
+	// make a job uncacheable (a cache hit skips the simulation, so there
+	// would be nothing to observe). Serial runs leave it unbound and its
+	// snapshot empty.
+	//
+	//simlint:cachekey-exempt — output-neutral by contract (enforced by the neutral analyzer; parallel-identity tests pin byte-identical output with a recorder attached)
+	HostProf *hostprof.Recorder
 
 	// NoSkip disables the core loop's quiescence skipping (cmpsim
 	// -no-skip), forcing every cycle to be ticked as before the

@@ -32,6 +32,7 @@ func Cacheable(job *Job) bool {
 		job.Cfg.Metrics == nil &&
 		job.Cfg.Check == nil &&
 		job.Cfg.Prof == nil &&
+		job.Cfg.HostProf == nil &&
 		job.Cfg.SharedData == nil
 }
 

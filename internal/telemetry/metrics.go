@@ -113,6 +113,12 @@ type SimMetrics struct {
 	GateWaits    Counter
 	LocalSkipped Counter
 	ShardTicks   *CounterVec // per-shard executed CPU ticks: utilization balance
+
+	// GateWaitsBySite splits GateWaits by the shared-access site whose
+	// gate spun (access/ifetch/ll-reserve/sc-check/clear-reserve/
+	// syscall/mxs-image) — the live /metrics view of the attribution
+	// that internal/hostprof records in full detail.
+	GateWaitsBySite *CounterVec
 }
 
 // register wires the cycle-loop metrics into the registry.
@@ -124,6 +130,7 @@ func (m *SimMetrics) register(r *Registry) {
 	r.Counter("sim_gate_waits_total", "tick-gate syncs that spun for a rotation-order grant", &m.GateWaits)
 	r.Counter("sim_local_skipped_cpu_cycles_total", "per-CPU cycles fast-forwarded inside parallel windows", &m.LocalSkipped)
 	m.ShardTicks = r.CounterVec("sim_shard_ticks_total", "CPU ticks executed by each parallel-tick shard", "shard")
+	m.GateWaitsBySite = r.CounterVec("sim_gate_waits_by_site_total", "tick-gate syncs that spun, by shared-access site", "site")
 }
 
 // Cycles returns total simulated cycles advanced (ticked + skipped) —
