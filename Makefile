@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet lint lint-baseline test race smoke race-smoke bench bench-gate bench-trace telemetry-smoke host-prof-smoke experiments-output clean
+.PHONY: all build check vet lint lint-baseline test race smoke race-smoke bench bench-gate bench-trace telemetry-smoke host-prof-smoke layout-smoke experiments-output clean
 
 all: build
 
@@ -72,10 +72,13 @@ bench:
 # bench-gate is the CI perf gate: re-measure the figure matrix
 # (median of 3 samples per cell) and diff against the committed
 # baseline. Sim cycle counts must match exactly (determinism anchor —
-# including at -sim-jobs 2 and 4 on the detailed-CPU rows); Mipsy
-# MemBound rows must keep a >= 2x skip speedup; the MXS MemBound row
-# must keep a >= 1.5x parallel-tick speedup (1.25x on hosts with fewer
-# than 4 cores); every other row's dimensionless speedup must stay
+# including at -sim-jobs 2 and under the profile-suggested shard
+# layout on the detailed-CPU rows); Mipsy MemBound rows must keep a
+# >= 2x skip speedup; the MXS MemBound row must keep a >= 1.5x
+# parallel-tick speedup (1.4x on hosts with fewer than 4 cores) unless
+# the baseline marks it par_regression, and its gate_wait_frac may not
+# climb more than 5 points above the committed value when the adopted
+# layout matches; every other row's dimensionless speedup must stay
 # within ±30% of its baseline value.
 bench-gate:
 	$(GO) run ./cmd/benchjson -gate BENCH_figures.json -samples 3
@@ -100,6 +103,20 @@ experiments-output:
 # output for exactly that).
 bench-trace:
 	$(GO) test -run '^$$' -bench 'BenchmarkTracer|BenchmarkProf|BenchmarkHostProf' -benchmem .
+
+# layout-smoke round-trips the profile-guided layout pipeline on real
+# runs: profile a quick sharded memory-bound point, ask the offline
+# search (parprof -suggest-layout) for a CPU→worker assignment, then
+# prove the suggested -shard-layout plus -sim-window-adapt leave the
+# simulation output byte-identical to the serial run.
+layout-smoke:
+	$(GO) run ./cmd/parprof -workload mp3d -quick -arch shared-mem -membound -sim-jobs 2 -json layout_prof.json > /dev/null
+	$(GO) run ./cmd/cmpsim -workload mp3d -quick -arch shared-mem -model mxs > layout_a.txt
+	LAYOUT=$$($(GO) run ./cmd/parprof -in layout_prof.json -suggest-layout 4 | sed -n 's/^rerun with: -shard-layout //p'); \
+	  echo "layout-smoke: adopting -shard-layout $$LAYOUT"; \
+	  $(GO) run ./cmd/cmpsim -workload mp3d -quick -arch shared-mem -model mxs -sim-jobs 4 -shard-layout "$$LAYOUT" -sim-window-adapt > layout_b.txt
+	cmp layout_a.txt layout_b.txt
+	rm -f layout_a.txt layout_b.txt layout_prof.json
 
 # host-prof-smoke pins the host observatory's determinism contract on a
 # real sharded run: two parprof invocations over the memory-bound

@@ -110,6 +110,8 @@ func main() {
 
 		jobs     = flag.Int("jobs", 0, "max concurrent architecture runs (0 = GOMAXPROCS); output is identical for any value")
 		simJobs  = flag.Int("sim-jobs", 1, "shard each simulation's CPUs across up to N host goroutines (1 = serial; output is identical for any value; composes with -jobs under a host-core cap)")
+		layout   = flag.String("shard-layout", "", "explicit CPU→worker assignment for the parallel tick, e.g. 0,1,0,1 (empty = contiguous split; parprof -suggest-layout proposes one; output is identical for any layout)")
+		adaptWin = flag.Bool("sim-window-adapt", false, "let the parallel-tick coordinator fast-forward quiescent stretches and retune window sizes from observed tick density (output is identical)")
 		cacheDir = flag.String("cache-dir", "", "memoize run results as JSON under this directory (\"\" = off)")
 		progress = flag.Bool("progress", false, "print per-job completion lines (wall time, cache status) on stderr; stdout is unaffected")
 
@@ -159,6 +161,8 @@ func main() {
 	}
 	cfg.NoSkip = *noSkip
 	cfg.SimJobs = *simJobs
+	cfg.ShardLayout = *layout
+	cfg.AdaptWindow = *adaptWin
 
 	set, err := telem.Start()
 	if err != nil {

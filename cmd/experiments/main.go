@@ -60,8 +60,12 @@ var obsvFlags obsvOpts
 var noSkipFlag bool
 
 // simJobsFlag shards each dispatched simulation's CPUs across host
-// goroutines; output is identical for any value.
+// goroutines; output is identical for any value. layoutFlag and
+// adaptWinFlag are the other two scheduler shape knobs, equally
+// output-neutral.
 var simJobsFlag int
+var layoutFlag string
+var adaptWinFlag bool
 
 // telemSim, when host telemetry is enabled, is the campaign-wide
 // cycle-loop instrument panel shared by every dispatched job.
@@ -101,6 +105,8 @@ func (g *grid) addJob(wlName string, quick bool, arch core.Arch, model core.CPUM
 	}
 	cfg.NoSkip = noSkipFlag
 	cfg.SimJobs = simJobsFlag
+	cfg.ShardLayout = layoutFlag
+	cfg.AdaptWindow = adaptWinFlag
 	cfg.Telem = telemSim
 	job := runner.Job{
 		Workload: func() (workload.Workload, error) {
@@ -163,6 +169,8 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-job completion lines (wall time, cache status) on stderr; stdout is unaffected")
 	flag.BoolVar(&noSkipFlag, "no-skip", false, "disable quiescence skipping in the cycle loop (slower; output is identical)")
 	flag.IntVar(&simJobsFlag, "sim-jobs", 1, "shard each simulation's CPUs across up to N host goroutines (1 = serial; output is identical for any value; composes with -jobs under a host-core cap)")
+	flag.StringVar(&layoutFlag, "shard-layout", "", "explicit CPU→worker assignment for the parallel tick, e.g. 0,1,0,1 (empty = contiguous split; parprof -suggest-layout proposes one; output is identical for any layout)")
+	flag.BoolVar(&adaptWinFlag, "sim-window-adapt", false, "let the parallel-tick coordinator fast-forward quiescent stretches and retune window sizes from observed tick density (output is identical)")
 	var telem telemetry.Flags
 	telem.Register()
 	telem.RegisterReport()

@@ -24,6 +24,16 @@
 //	parprof -in par.shared-mem.json                 # re-render a saved profile
 //	parprof -workload fft -quick -trace host.trace  # Chrome host timeline
 //	parprof -workload fft -quick -jsonl host.jsonl  # tracestats -tracks host input
+//
+// Offline layout work against a saved profile (no simulation):
+//
+//	parprof -in par.json -score-layout 0,1,0,1      # score one CPU→worker assignment
+//	parprof -in par.json -suggest-layout 2          # search for the best ≤2-worker layout
+//	parprof -diff old.json new.json                 # what changed between two profiles
+//
+// A suggested layout feeds straight back into any simulating command
+// via -shard-layout (cmpsim, experiments, sweep, parprof itself);
+// output stays byte-identical under every layout.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"cmpsim/internal/benchfig"
 	"cmpsim/internal/core"
@@ -56,6 +67,35 @@ func splice(path, arch string, multi bool) string {
 	}
 	ext := filepath.Ext(path)
 	return path[:len(path)-len(ext)] + "." + arch + ext
+}
+
+// readProfile loads a profile saved by -json.
+func readProfile(path string) (*hostprof.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return hostprof.ReadProfile(f)
+}
+
+// printScore renders one offline layout evaluation.
+func printScore(sc hostprof.LayoutScore) {
+	fmt.Printf("layout %s (%d workers, shards", sc.Layout, sc.Workers)
+	for w, ids := range sc.Shards {
+		fmt.Printf(" %d:%v", w, ids)
+	}
+	fmt.Printf(")\n")
+	fmt.Printf("  gate-wait: total %s, eliminated by co-location %s, residual cross-shard %s\n",
+		fmtDur(sc.TotalWaitNs), fmtDur(sc.EliminatedWaitNs), fmtDur(sc.CrossWaitNs))
+	fmt.Printf("  balance: heaviest shard holds %.1f%% of ticks %v\n",
+		100*sc.MaxShardTickFrac, sc.ShardTicks)
+	fmt.Printf("  predicted critical path: %s (lower is better; compare against other layouts on this profile)\n",
+		fmtDur(sc.PredictedNs))
+}
+
+func fmtDur(ns uint64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
 }
 
 // writeFile creates path and hands it to fn, folding the close error
@@ -90,25 +130,64 @@ func main() {
 		traceOut = flag.String("trace", "", "write the host-timeline Chrome trace (chrome://tracing, Perfetto) to this file")
 		jsonlOut = flag.String("jsonl", "", "write host-timeline events as JSONL (cmd/tracestats -tracks host input) to this file")
 		in       = flag.String("in", "", "render a previously saved profile JSON and exit (no simulation)")
+		layout   = flag.String("shard-layout", "", "explicit CPU→worker assignment, e.g. 0,1,0,1 (empty = default contiguous split); output is byte-identical for any layout")
+		adapt    = flag.Bool("sim-window-adapt", false, "let the coordinator pick window sizes from observed schedule shape (output is byte-identical)")
+		scoreLay = flag.String("score-layout", "", "with -in: score this CPU→worker assignment against the saved profile and exit")
+		suggest  = flag.Int("suggest-layout", 0, "with -in: search for the best layout using at most N workers and exit")
+		diff     = flag.Bool("diff", false, "compare two saved profiles: parprof -diff old.json new.json")
 	)
 	var telem telemetry.Flags
 	telem.Register()
 	flag.Parse()
 
-	if *in != "" {
-		f, err := os.Open(*in)
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "parprof: -diff needs exactly two profile files: parprof -diff old.json new.json")
+			os.Exit(2)
+		}
+		old, err := readProfile(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
-		p, err := hostprof.ReadProfile(f)
-		f.Close()
+		cur, err := readProfile(flag.Arg(1))
 		if err != nil {
 			fatal(err)
 		}
-		if err := p.WriteReport(os.Stdout, *top, *simOnly); err != nil {
+		if err := hostprof.WriteDiff(os.Stdout, old, cur, *top); err != nil {
 			fatal(err)
 		}
 		return
+	}
+
+	if *in != "" {
+		p, err := readProfile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case *scoreLay != "":
+			shards, err := hostprof.ParseShardLayout(*scoreLay, p.CPUs)
+			if err != nil {
+				fatal(err)
+			}
+			printScore(hostprof.ScoreLayout(p, shards))
+		case *suggest > 0:
+			sc, err := hostprof.SuggestLayout(p, *suggest)
+			if err != nil {
+				fatal(err)
+			}
+			printScore(sc)
+			fmt.Printf("rerun with: -shard-layout %s\n", sc.Layout)
+		default:
+			if err := p.WriteReport(os.Stdout, *top, *simOnly); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	if *scoreLay != "" || *suggest > 0 {
+		fmt.Fprintln(os.Stderr, "parprof: -score-layout/-suggest-layout need a saved profile via -in")
+		os.Exit(2)
 	}
 	if *wlName == "" {
 		fmt.Fprintln(os.Stderr, "parprof: -workload is required (or -in to render a saved profile)")
@@ -155,6 +234,8 @@ func main() {
 			cfg.NumCPUs = *cpus
 		}
 		cfg.SimJobs = *simJobs
+		cfg.ShardLayout = *layout
+		cfg.AdaptWindow = *adapt
 		recs[i] = hostprof.New()
 		cfg.HostProf = recs[i]
 		if set != nil {

@@ -75,6 +75,8 @@ func main() {
 	list := flag.Bool("params", false, "list sweepable parameters")
 	noSkip := flag.Bool("no-skip", false, "disable quiescence skipping in the cycle loop (slower; output is identical)")
 	simJobs := flag.Int("sim-jobs", 1, "shard each simulation's CPUs across up to N host goroutines (1 = serial; output is identical for any value; composes with -jobs under a host-core cap)")
+	layout := flag.String("shard-layout", "", "explicit CPU→worker assignment for the parallel tick, e.g. 0,1,0,1 (empty = contiguous split; parprof -suggest-layout proposes one; output is identical for any layout)")
+	adaptWin := flag.Bool("sim-window-adapt", false, "let the parallel-tick coordinator fast-forward quiescent stretches and retune window sizes from observed tick density (output is identical)")
 	hostProfOut := flag.String("host-prof-out", "", "write per-point host-schedule profiles as JSON (cmd/parprof -in reads them); the point tag is spliced in before the extension")
 	var telem telemetry.Flags
 	telem.Register()
@@ -138,6 +140,8 @@ func main() {
 		p.set(&cfg, v)
 		cfg.NoSkip = *noSkip
 		cfg.SimJobs = *simJobs
+		cfg.ShardLayout = *layout
+		cfg.AdaptWindow = *adaptWin
 		if set != nil {
 			cfg.Telem = set.Sim
 		}

@@ -92,16 +92,25 @@ type clockSlot struct {
 // attached, additionally receives every contended spin with its peer,
 // site and duration.
 //
-//simlint:owned per-cpu — one gate per CPU, mutated only by the worker that owns the CPU (coordinator drains waits between barriers)
+//simlint:owned per-cpu — one gate per CPU, mutated only by the worker that owns the CPU (coordinator drains waits and resets grants between barriers)
 type cpuGate struct {
-	s         *parSched
-	cpu       int
-	tick      uint64
+	s    *parSched
+	cpu  int
+	tick uint64
+
+	// grantedUntil is the waiter-side epoch grant: a cycle bound below
+	// which every cross-shard peer's published safe horizon has already
+	// been observed, so syncs at cycles strictly before it need no clock
+	// loads at all. Sound because horizons only move forward inside a
+	// carried stretch; the coordinator zeroes the grant whenever it
+	// rewinds the clocks (non-quiet window boundary).
+	grantedUntil uint64
+
 	synced    bool
 	waits     uint64
 	siteWaits [hostprof.NumSites]uint64
 	rec       *hostprof.GateRec
-	_         [24]byte // pad to two cache lines: gates are adjacent in one slice
+	_         [16]byte // pad to two cache lines: gates are adjacent in one slice
 }
 
 // Sync implements cpu.TickGate — the detailed CPU model's
@@ -112,28 +121,45 @@ func (g *cpuGate) Sync() { g.sync(hostprof.SiteMXSImage) }
 // sync blocks until every peer CPU has left this CPU's current cycle
 // or sits behind it in the cycle's service rotation. Idempotent within
 // a tick; a no-op on the serial path.
+//
+// Two epoch-grant shortcuts over the original every-peer scan (DESIGN
+// §8.6): same-shard peers are never checked — the owning worker picks
+// its CPUs in (cycle, rotation-position) order, so a same-shard peer's
+// published clock always already satisfies the admission predicate —
+// and a whole-epoch grant is cached in grantedUntil: after one scan,
+// every sync at a cycle below the minimum cross-shard horizon observed
+// is admitted with a single comparison.
 func (g *cpuGate) sync(site hostprof.Site) {
 	s := g.s
 	if !s.active || g.synced {
 		return
 	}
 	g.synced = true
-	n := len(s.clocks)
 	t := g.tick
+	if t < g.grantedUntil {
+		return // inside a granted epoch: no peer can reach t anymore
+	}
+	n := len(s.clocks)
 	myPos := rotPos(g.cpu, t, n)
+	myShard := s.shardOf[g.cpu]
+	granted := notHalted
 	spun := false
 	for j := 0; j < n; j++ {
-		if j == g.cpu {
-			continue
+		if s.shardOf[j] == myShard {
+			continue // own worker's CPUs, self included: safe by pick order
 		}
 		jPos := rotPos(j, t, n)
-		if cj := s.clocks[j].c.Load(); cj > t || (cj == t && jPos > myPos) {
+		cj := s.clocks[j].c.Load()
+		if cj > t || (cj == t && jPos > myPos) {
+			if cj < granted {
+				granted = cj
+			}
 			continue // peer already past: no contention, no timestamps
 		}
 		spun = true
 		tok := g.rec.SpinBegin()
 		for spins := 0; ; spins++ {
-			cj := s.clocks[j].c.Load()
+			cj = s.clocks[j].c.Load()
 			if cj > t || (cj == t && jPos > myPos) {
 				break
 			}
@@ -145,7 +171,11 @@ func (g *cpuGate) sync(site hostprof.Site) {
 			}
 		}
 		g.rec.SpinEnd(tok, j, site, t)
+		if cj < granted {
+			granted = cj
+		}
 	}
+	g.grantedUntil = granted
 	if spun {
 		g.waits++
 		g.siteWaits[site]++
@@ -174,10 +204,11 @@ type winJob struct {
 // sharding. Worker goroutines are spawned per runParallel call and
 // joined before it returns, so an idle Machine holds no goroutines.
 type parSched struct {
-	m      *Machine
-	shards [][]int     // worker -> owned CPU ids (contiguous blocks)
-	clocks []clockSlot // per CPU: cycle currently executing; > t means t complete
-	gates  []cpuGate   // per CPU: tick-gate state, owned by the sharding worker
+	m       *Machine
+	shards  [][]int     // worker -> owned CPU ids
+	shardOf []int       // CPU id -> owning worker index
+	clocks  []clockSlot // per CPU: safe horizon — no shared-state touch strictly before this cycle
+	gates   []cpuGate   // per CPU: tick-gate state, owned by the sharding worker
 
 	// active is true only while workers are running a window (set and
 	// cleared by the coordinator around the barrier, so the
@@ -198,6 +229,8 @@ type parSched struct {
 	// runParallel call.
 	ticks   []uint64 // executed CPU ticks per shard
 	skipped []uint64 // per-CPU cycles locally fast-forwarded per shard
+	grants  []uint64 // epoch grants taken at window entry per shard
+	granted []uint64 // per-CPU cycles those grants covered per shard
 
 	jobs []chan winJob  // per-worker window hand-off (buffered, reused)
 	wg   sync.WaitGroup // window barrier
@@ -216,47 +249,73 @@ type parSched struct {
 }
 
 // newParSched builds the scheduler for up to `jobs` workers over the
-// machine's CPUs, splitting them into contiguous shards.
-func newParSched(m *Machine, jobs int) *parSched {
+// machine's CPUs. The default assignment splits CPUs into contiguous
+// blocks; Config.ShardLayout overrides it with an explicit CPU→worker
+// map (profile-guided layouts co-locate the hottest waiter-peer pairs,
+// whose gate spins then vanish by the same-shard pick-order argument).
+func newParSched(m *Machine, jobs int) (*parSched, error) {
 	ncpu := m.Cfg.NumCPUs
-	nw := jobs
-	// Shard workers beyond the host's cores cannot overlap and only add
-	// gate contention; cap at GOMAXPROCS, but keep at least two shards
-	// so the concurrent machinery stays exercised (and race-detectable)
-	// on small hosts. The shard count is a pure host-parallelism knob —
-	// output is byte-identical for any value (parallel-identity tests).
-	if procs := runtime.GOMAXPROCS(0); nw > procs {
-		nw = procs
-		if nw < 2 {
-			nw = 2
+	var shards [][]int
+	if lay := m.Cfg.ShardLayout; lay != "" {
+		var err error
+		// The layout decides only which host worker ticks which CPU — a
+		// pure host-parallelism knob, excluded from the result-cache key;
+		// output is byte-identical for any assignment (identity tests).
+		//simlint:allow neutral — shard layout is host scheduling shape, not simulated state
+		shards, err = hostprof.ParseShardLayout(lay, ncpu)
+		if err != nil {
+			return nil, fmt.Errorf("core: -shard-layout: %w", err)
+		}
+	} else {
+		nw := jobs
+		// Shard workers beyond the host's cores cannot overlap and only add
+		// gate contention; cap at GOMAXPROCS, but keep at least two shards
+		// so the concurrent machinery stays exercised (and race-detectable)
+		// on small hosts. The shard count is a pure host-parallelism knob —
+		// output is byte-identical for any value (parallel-identity tests).
+		if procs := runtime.GOMAXPROCS(0); nw > procs {
+			nw = procs
+			if nw < 2 {
+				nw = 2
+			}
+		}
+		if nw > ncpu {
+			nw = ncpu
+		}
+		for w := 0; w < nw; w++ {
+			lo, hi := w*ncpu/nw, (w+1)*ncpu/nw
+			ids := make([]int, 0, hi-lo)
+			for id := lo; id < hi; id++ {
+				ids = append(ids, id)
+			}
+			shards = append(shards, ids)
 		}
 	}
-	if nw > ncpu {
-		nw = ncpu
-	}
+	nw := len(shards)
 	s := &parSched{
 		m:       m,
+		shards:  shards,
+		shardOf: make([]int, ncpu),
 		clocks:  make([]clockSlot, ncpu),
 		gates:   make([]cpuGate, ncpu),
 		haltAt:  make([]uint64, ncpu),
 		ticks:   make([]uint64, nw),
 		skipped: make([]uint64, nw),
+		grants:  make([]uint64, nw),
+		granted: make([]uint64, nw),
 		jobs:    make([]chan winJob, nw),
 	}
 	for i := range s.gates {
 		s.gates[i] = cpuGate{s: s, cpu: i}
 	}
-	for w := 0; w < nw; w++ {
-		lo, hi := w*ncpu/nw, (w+1)*ncpu/nw
-		ids := make([]int, 0, hi-lo)
-		for id := lo; id < hi; id++ {
-			ids = append(ids, id)
+	for w, ids := range shards {
+		for _, id := range ids {
+			s.shardOf[id] = w
 		}
-		s.shards = append(s.shards, ids)
 		s.jobs[w] = make(chan winJob, 1)
 	}
 	s.hp = m.Cfg.HostProf
-	return s
+	return s, nil
 }
 
 // gate returns CPU id's tick gate (for models that must Sync before
@@ -379,10 +438,41 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 	// Coordinator-serial slices span everything between barriers: IRQ
 	// merge, event calendar, halt scans, window-edge computation,
 	// sampler probes, telemetry flushes.
+	//
+	// carry tracks whether the workers' published safe horizons survive
+	// the window boundary (DESIGN §8.6). A horizon is a NextWork proof
+	// — "no observable work, hence no shared-state touch, strictly
+	// before cycle h, assuming no external input" — so it stays valid
+	// across a boundary exactly when no external input arrived: no
+	// buffered IRQ promoted onto a live line, no event callback ran.
+	// (The interval sampler only reads counters; it never feeds state
+	// back into a CPU, so a sampler cut does not invalidate.) The first
+	// window never carries: clocks are stale from the previous
+	// RunWindow chunk, which may have run serially or not at all.
+	carry := false
+	// Adaptive window sizing (Config.AdaptWindow): adaptLen is the
+	// current window-length target, halved when windows run tick-dense
+	// (lockstep phases realign at cheap barriers instead of per-access
+	// gate spins) and doubled back toward the grid when they run
+	// skip-dominated. The policy input — executed ticks per window — is
+	// deterministic, so the adapted schedule shape is reproducible;
+	// window edges never change simulated state (identity pinned with
+	// the flag on by the parallel byte-identity tests).
+	adaptLen := grid
+	var prevTicks uint64
+	for _, t := range s.ticks {
+		prevTicks += t
+	}
 	stok := ctk.SerialBegin()
 	for cyc < end {
 		if cyc%grid == 0 {
+			if m.irq.npend > 0 {
+				carry = false // merge is about to make lines live
+			}
 			m.irq.merge()
+		}
+		if ev, ok := m.Events.NextCycle(); ok && ev <= cyc {
+			carry = false // event callbacks may wake CPUs / raise IRQs
 		}
 		m.Events.RunUntil(cyc)
 		alive := false
@@ -399,6 +489,66 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 				mets.Record(m.probe(cyc))
 			}
 			break
+		}
+
+		// Coordinator fast-forward (Config.AdaptWindow): when every live
+		// CPU's carried safe horizon clears the present, the whole
+		// stretch up to the minimum horizon is proven no-op — the serial
+		// loop's global quiescence skip would jump it — so advance
+		// without dispatching a window at all: no worker hand-off, no
+		// barrier, no per-worker grant bookkeeping. Bounded exactly like
+		// a window edge (grid boundary for IRQ merges, run end, next
+		// event, sampler due-cycle + 1), and a live IRQ line never
+		// fast-forwards because skipTo refuses to publish a horizon past
+		// t+1 for it.
+		if m.Cfg.AdaptWindow && carry {
+			h := notHalted
+			for i, c := range m.CPUs {
+				if c.Done() {
+					continue
+				}
+				if v := s.clocks[i].c.Load(); v < h {
+					h = v
+				}
+			}
+			if h > cyc {
+				jump := gridNext(cyc, grid)
+				if end < jump {
+					jump = end
+				}
+				if ev, ok := m.Events.NextCycle(); ok && ev < jump {
+					jump = ev
+				}
+				if mets != nil {
+					// Same sanctioned obs→sim dataflow as the window-edge
+					// clamp below: the sampler schedule bounds the jump,
+					// never what any cycle computes.
+					//simlint:allow neutral — fast-forward bound only; output byte-identical (see parallel-identity tests)
+					if due := mets.NextDue(); due+1 < jump && due+1 > cyc {
+						jump = due + 1
+					}
+				}
+				if h < jump {
+					jump = h
+				}
+				if jump > cyc {
+					for _, c := range m.CPUs {
+						if c.Done() {
+							continue
+						}
+						if cs, ok := c.(cycleSkipper); ok {
+							cs.SkipCycles(cyc, jump)
+						}
+					}
+					ctk.WindowOpen(cyc, jump, hostprof.CutFastForward)
+					last := jump - 1 //simlint:allow cycleflow — jump > cyc >= 0, so jump >= 1
+					if mets != nil && mets.Due(last) {
+						mets.Record(m.probe(last))
+					}
+					cyc = jump
+					continue
+				}
+			}
 		}
 
 		// Window edge: the next grid boundary, clamped by the run end,
@@ -430,9 +580,24 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 				}
 			}
 		}
+		if m.Cfg.AdaptWindow && cyc+adaptLen < w1 {
+			w1 = cyc + adaptLen
+			cut = hostprof.CutAdapt
+		}
 
-		for i := range s.clocks {
-			s.clocks[i].c.Store(cyc)
+		// Quiet boundary: carry the published safe horizons (and the
+		// waiters' cached epoch grants) into the next window — a CPU
+		// whose horizon already clears w1 is granted the whole epoch
+		// without a single re-proving tick. Otherwise rewind every clock
+		// to the present and drop the grant caches with them.
+		if !carry {
+			for i := range s.clocks {
+				s.clocks[i].c.Store(cyc)
+				s.gates[i].grantedUntil = 0
+			}
+		}
+		carry = true
+		for i := range s.haltAt {
 			s.haltAt[i] = notHalted
 		}
 		ctk.WindowOpen(cyc, w1, cut)
@@ -449,6 +614,26 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 		s.active = false
 		ctk.BarrierEnd(btok, cyc, w1)
 		stok = ctk.SerialBegin()
+
+		if m.Cfg.AdaptWindow {
+			// Retune the window-length target from this window's tick
+			// density (executed ticks per CPU-cycle — deterministic, so
+			// the adapted schedule reproduces run to run): dense lockstep
+			// phases shrink the window, skip-dominated phases grow it
+			// back toward the grid.
+			var tsum uint64
+			for _, t := range s.ticks {
+				tsum += t
+			}
+			ticked := tsum - prevTicks //simlint:allow cycleflow — tsum is a monotone sum of per-worker tick counters, so tsum >= prevTicks
+			prevTicks = tsum
+			span := (w1 - cyc) * uint64(len(s.clocks)) //simlint:allow cycleflow — every window-edge bound exceeds cyc, so w1 > cyc
+			if 2*ticked > span && adaptLen > grid/16 {
+				adaptLen /= 2
+			} else if 8*ticked < span && adaptLen < grid {
+				adaptLen *= 2
+			}
+		}
 
 		allDone := true
 		for _, c := range m.CPUs {
@@ -518,6 +703,14 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 				tel.LocalSkipped.Add(s.skipped[w])
 				s.skipped[w] = 0
 			}
+			if s.grants[w] > 0 {
+				tel.EpochGrants.Add(s.grants[w])
+				s.grants[w] = 0
+			}
+			if s.granted[w] > 0 {
+				tel.EpochGrantedCycles.Add(s.granted[w])
+				s.granted[w] = 0
+			}
 		}
 	}
 	for _, c := range m.CPUs {
@@ -539,10 +732,13 @@ func (m *Machine) runParallel(start, n uint64) (next uint64, halted bool, err er
 // told to quit. Within a window it repeatedly picks the owned CPU with
 // the smallest (cycle, rotation-position) — which is always safe to
 // run next, and keeps the globally minimal CPU unblocked — ticks it,
-// and publishes the new cycle through the CPU's clock. Quiescent
-// stretches are fast-forwarded per CPU: a skipped cycle makes no
-// shared-state access at all in the serial loop, so skipping it
-// locally cannot reorder anything.
+// and publishes its safe horizon through the CPU's clock: the earliest
+// future cycle at which the CPU can next touch shared state (the
+// unclamped NextWork proof when it skips, the next tick cycle
+// otherwise, "never" once it halts). Quiescent stretches are
+// fast-forwarded per CPU: a skipped cycle makes no shared-state access
+// at all in the serial loop, so skipping it locally cannot reorder
+// anything.
 func (s *parSched) worker(w int) {
 	m := s.m
 	noSkip := m.Cfg.NoSkip
@@ -556,8 +752,33 @@ func (s *parSched) worker(w int) {
 		}
 		wtok := tk.WindowBegin(w0)
 		ticks0 := s.ticks[w]
-		for i := range cur {
+		// Window entry: resume each owned CPU from its carried safe
+		// horizon. The coordinator left the clocks untouched across a
+		// quiet boundary, so a horizon past w0 is a still-valid NextWork
+		// proof: the cycles up to it are no-ops in the serial loop too,
+		// and SkipCycles replaces them exactly as the in-window local
+		// skip does. A horizon at or past w1 grants the whole epoch —
+		// the CPU neither ticks nor re-proves anything this window.
+		for i, id := range own {
 			cur[i] = w0
+			h := s.clocks[id].c.Load()
+			if h <= w0 {
+				continue
+			}
+			c := m.CPUs[id]
+			if c.Done() {
+				continue // the pick loop retires it against haltAt
+			}
+			if h > w1 {
+				h = w1
+			}
+			if cs, ok := c.(cycleSkipper); ok {
+				cs.SkipCycles(w0, h)
+			}
+			s.grants[w]++
+			s.granted[w] += h - w0
+			tk.Grant(id, w0, h)
+			cur[i] = h
 		}
 		n := len(s.clocks)
 		for {
@@ -583,9 +804,11 @@ func (s *parSched) worker(w int) {
 			if c.Done() {
 				// Done at the window start (halting ticks are caught
 				// below). Record the observation cycle and retire the
-				// CPU from the window.
+				// CPU from the window; a halted CPU can never touch
+				// shared state again, so its horizon is "never" and
+				// survives every carry.
 				s.haltAt[id] = t
-				s.clocks[id].c.Store(w1)
+				s.clocks[id].c.Store(notHalted)
 				cur[best] = w1
 				continue
 			}
@@ -594,23 +817,29 @@ func (s *parSched) worker(w int) {
 			g.synced = false
 			wake := c.Tick(t)
 			s.ticks[w]++
+			tk.Tick(id)
 			if c.Done() {
 				// Halted during this tick: the serial loop would first
 				// see it Done at t+1.
 				s.haltAt[id] = t + 1
-				s.clocks[id].c.Store(w1)
+				s.clocks[id].c.Store(notHalted)
 				cur[best] = w1
 				continue
 			}
 			nt := t + 1
-			if !noSkip && wake > nt && nt < w1 {
-				if v := s.skipTo(c, id, t, nt, w1); v > nt {
+			hz := nt
+			if !noSkip && wake > nt {
+				v, h := s.skipTo(c, id, t, nt, w1)
+				if h > hz {
+					hz = h
+				}
+				if v > nt {
 					s.skipped[w] += v - nt
 					tk.Skip(id, nt, v)
 					nt = v
 				}
 			}
-			s.clocks[id].c.Store(nt)
+			s.clocks[id].c.Store(hz)
 			cur[best] = nt
 		}
 		tk.WindowEnd(wtok, w1, cyc.Sub(s.ticks[w], ticks0))
@@ -625,19 +854,30 @@ func (s *parSched) worker(w int) {
 // window, and the CPU's live IRQ line is frozen until the next
 // coordinator phase — mirroring the serial nextCycle's guards, a live
 // line suppresses the skip so delivery stays on the per-cycle path.
-func (s *parSched) skipTo(c Core, id int, t, step, w1 uint64) uint64 {
+//
+// It returns both the clamped position `pos` the CPU resumes at inside
+// this window and the unclamped proof `horizon`: the position must not
+// cross w1 (the coordinator owns everything past the barrier), but the
+// horizon may — publishing it through the clock lets cross-shard
+// waiters stop checking this CPU for the whole proven stretch, and
+// lets the next window's entry grant resume the skip without a
+// re-proving tick (DESIGN §8.6).
+func (s *parSched) skipTo(c Core, id int, t, step, w1 uint64) (pos, horizon uint64) {
 	if s.m.irq.live[id] {
-		return step
+		return step, step
 	}
 	target := c.NextWork(t)
-	if target > w1 {
-		target = w1
-	}
 	if target <= step {
-		return step
+		return step, step
 	}
-	if cs, ok := c.(cycleSkipper); ok {
-		cs.SkipCycles(step, target)
+	pos = target
+	if pos > w1 {
+		pos = w1
 	}
-	return target
+	if pos > step {
+		if cs, ok := c.(cycleSkipper); ok {
+			cs.SkipCycles(step, pos)
+		}
+	}
+	return pos, target
 }

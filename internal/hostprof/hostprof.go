@@ -86,19 +86,23 @@ func SiteFromString(s string) Site {
 type Cut uint8
 
 const (
-	CutGrid    Cut = iota // SimWindow grid boundary
-	CutEnd                // RunWindow range end
-	CutEvent              // next event-calendar cycle
-	CutSampler            // next interval-sampler due cycle
+	CutGrid        Cut = iota // SimWindow grid boundary
+	CutEnd                    // RunWindow range end
+	CutEvent                  // next event-calendar cycle
+	CutSampler                // next interval-sampler due cycle
+	CutFastForward            // coordinator fast-forward over an all-quiescent gap
+	CutAdapt                  // adaptive sub-grid shortening (laggard-dominated spins)
 
 	NumCuts
 )
 
 var cutNames = [NumCuts]string{
-	CutGrid:    "grid",
-	CutEnd:     "end",
-	CutEvent:   "event",
-	CutSampler: "sampler",
+	CutGrid:        "grid",
+	CutEnd:         "end",
+	CutEvent:       "event",
+	CutSampler:     "sampler",
+	CutFastForward: "fast-forward",
+	CutAdapt:       "adapt",
 }
 
 func (c Cut) String() string {
@@ -147,7 +151,7 @@ type spinCell struct{ count, ns uint64 }
 // epoch.
 type Slice struct {
 	Track int    `json:"track"`
-	Kind  string `json:"kind"` // window | spin | skip | serial | barrier | mark
+	Kind  string `json:"kind"` // window | spin | skip | grant | serial | barrier | mark
 	T0    int64  `json:"t0"`
 	T1    int64  `json:"t1"`
 	CPU   int    `json:"cpu,omitempty"`  // spin: waiter; skip: skipping CPU
@@ -171,6 +175,16 @@ type TrackRec struct {
 	skipCount  uint64
 	skipCycles uint64
 	skipHist   hist
+
+	// Epoch grants: window entries the worker covered entirely (or up to
+	// a carried horizon) without ticking, plus per-CPU executed-tick
+	// counts (indexed by global CPU id; only owned entries are written).
+	// cpuTicks is layout-invariant — the same simulation ticks the same
+	// CPU the same number of times under any shard layout — which is
+	// what lets the offline layout scorer reuse it as a balance weight.
+	grants      uint64
+	grantCycles uint64
+	cpuTicks    []uint64
 
 	// Host wall-clock aggregates.
 	busyNs    uint64
@@ -229,6 +243,28 @@ func (t *TrackRec) Skip(cpu int, from, to uint64) {
 	t.skipCycles += dist
 	t.skipHist.add(dist)
 	t.emit(Slice{Track: t.w, Kind: "skip", T0: now, T1: now, CPU: cpu, W0: from, W1: to})
+}
+
+// Tick counts one executed CPU tick against cpu's layout-invariant
+// per-CPU total.
+func (t *TrackRec) Tick(cpu int) {
+	if t == nil {
+		return
+	}
+	t.cpuTicks[cpu]++
+}
+
+// Grant records one epoch grant: at window entry, CPU cpu's carried
+// safe horizon already covered [from, to), so the worker advanced it
+// without a single tick or re-proof.
+func (t *TrackRec) Grant(cpu int, from, to uint64) {
+	if t == nil {
+		return
+	}
+	now := t.r.now()
+	t.grants++
+	t.grantCycles += cyc.Sub(to, from)
+	t.emit(Slice{Track: t.w, Kind: "grant", T0: now, T1: now, CPU: cpu, W0: from, W1: to})
 }
 
 // GateRec is one CPU's gate-wait recorder, owned by the worker that
@@ -412,7 +448,8 @@ func (r *Recorder) Bind(ncpu int, shards [][]int) {
 		own := make([]int, len(ids))
 		copy(own, ids)
 		r.shards[w] = own
-		tk := &TrackRec{r: r, w: w, cpus: own, slices: make([]Slice, 0, winCap+spinCap+skipCap)}
+		tk := &TrackRec{r: r, w: w, cpus: own, cpuTicks: make([]uint64, ncpu),
+			slices: make([]Slice, 0, winCap+spinCap+skipCap)}
 		r.tracks = append(r.tracks, tk)
 		for _, id := range ids {
 			r.gates[id] = &GateRec{tk: tk, cpu: id, cells: make([]spinCell, ncpu*int(NumSites))}

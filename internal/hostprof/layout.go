@@ -1,0 +1,388 @@
+package hostprof
+
+// Offline shard-layout evaluation: score any proposed CPU→worker
+// assignment against a saved profile's gate-wait attribution, and
+// search for a good one. The model is the co-location identity the
+// scheduler guarantees: two CPUs in the same shard are advanced by one
+// goroutine in (cycle, rotation-position) order, so their mutual gate
+// waits vanish entirely; only cross-shard waiter-peer pairs ever spin.
+// A layout is therefore judged by the predicted critical path
+//
+//	max over workers of (per-shard tick work) + residual cross-shard wait
+//
+// with per-CPU tick counts (layout-invariant — the same simulation
+// ticks the same CPU the same number of times under any assignment) as
+// the work weights and the profile's (waiter, peer) wait table as the
+// spin weights. On a 1-proc host (profile HostProcs == 1) the max
+// becomes a sum: shard goroutines time-slice, nothing overlaps, and the
+// best layout is the one with the least cross-shard wait — typically
+// the single shard. Both halves come straight from a `parprof -json`
+// profile; no re-simulation is needed to compare layouts.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseShardLayout parses an explicit CPU→worker assignment of the
+// form "0,1,0,1" (one worker index per CPU). Worker indices must cover
+// 0..max contiguously so every shard is non-empty.
+func ParseShardLayout(s string, ncpu int) ([][]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != ncpu {
+		return nil, fmt.Errorf("layout %q assigns %d CPUs, machine has %d", s, len(parts), ncpu)
+	}
+	asg := make([]int, ncpu)
+	nw := 0
+	for i, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("layout %q: entry %d (%q) is not a worker index", s, i, p)
+		}
+		asg[i] = w
+		if w+1 > nw {
+			nw = w + 1
+		}
+	}
+	shards := make([][]int, nw)
+	for id, w := range asg {
+		shards[w] = append(shards[w], id)
+	}
+	for w, ids := range shards {
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("layout %q: worker %d owns no CPUs (indices must be contiguous from 0)", s, w)
+		}
+	}
+	return shards, nil
+}
+
+// FormatShardLayout renders shards back into the "-shard-layout" flag
+// form (the inverse of ParseShardLayout).
+func FormatShardLayout(shards [][]int) string {
+	ncpu := 0
+	for _, ids := range shards {
+		ncpu += len(ids)
+	}
+	asg := make([]int, ncpu)
+	for w, ids := range shards {
+		for _, id := range ids {
+			if id >= 0 && id < ncpu {
+				asg[id] = w
+			}
+		}
+	}
+	parts := make([]string, ncpu)
+	for i, w := range asg {
+		parts[i] = strconv.Itoa(w)
+	}
+	return strings.Join(parts, ",")
+}
+
+// LayoutScore is one layout's offline evaluation against a profile.
+type LayoutScore struct {
+	Layout  string  `json:"layout"`
+	Workers int     `json:"workers"`
+	Shards  [][]int `json:"shards"`
+
+	// Wait decomposition: of the profile's total attributed gate-wait
+	// time, how much the layout eliminates by co-location and how much
+	// remains on cross-shard pairs.
+	TotalWaitNs      uint64 `json:"total_wait_ns"`
+	EliminatedWaitNs uint64 `json:"eliminated_wait_ns"`
+	CrossWaitNs      uint64 `json:"cross_wait_ns"`
+
+	// Work balance: the heaviest shard's share of total ticks (1/Workers
+	// is perfect balance), and the per-shard tick sums it came from.
+	MaxShardTickFrac float64  `json:"max_shard_tick_frac"`
+	ShardTicks       []uint64 `json:"shard_ticks"`
+
+	// PredictedNs is the estimate the layouts are ranked by. On a host
+	// with 2+ procs it is the critical path: the heaviest shard's tick
+	// work plus that same shard's waiter-side residual cross-shard wait
+	// (a shard goroutine's wall time is its own work plus its own
+	// spins; spins overlap the peer shard's work, so they are charged
+	// to the waiter only). On a 1-proc host (profile HostProcs == 1)
+	// shard goroutines time-slice instead of overlapping, so the
+	// prediction is serialized: all shards' work plus all residual
+	// cross-shard wait — which correctly makes the single-shard layout,
+	// whose cross wait is zero, the winner there. Lower is better; the
+	// absolute value is only meaningful relative to other layouts
+	// scored against the same profile.
+	PredictedNs uint64 `json:"predicted_ns"`
+}
+
+// pairWaits folds the profile's (waiter, peer, site) table into a
+// symmetric ncpu×ncpu wait-ns matrix.
+func pairWaits(p *Profile) [][]uint64 {
+	w := make([][]uint64, p.CPUs)
+	for i := range w {
+		w[i] = make([]uint64, p.CPUs)
+	}
+	for _, ws := range p.Waits {
+		if ws.Waiter < p.CPUs && ws.Peer < p.CPUs {
+			w[ws.Waiter][ws.Peer] += ws.Ns
+		}
+	}
+	return w
+}
+
+// cpuWork distributes the profile's useful worker time (busy minus
+// spin) over CPUs proportionally to their layout-invariant tick
+// counts, returning per-CPU work estimates in nanoseconds.
+func cpuWork(p *Profile) []uint64 {
+	work := make([]uint64, p.CPUs)
+	var busy, spin, ticks uint64
+	for _, w := range p.Worker {
+		busy += w.BusyNs
+		spin += w.SpinNs
+	}
+	for _, c := range p.PerCPU {
+		if c.CPU < p.CPUs {
+			work[c.CPU] = c.Ticks
+			ticks += c.Ticks
+		}
+	}
+	if ticks == 0 {
+		return work // old profile without per-CPU ticks: balance term inert
+	}
+	total := busy - min64(spin, busy) //simlint:allow cycleflow — subtrahend clamped to busy by min64, so no wrap
+	for i, t := range work {
+		work[i] = uint64(float64(total) * float64(t) / float64(ticks))
+	}
+	return work
+}
+
+// ScoreLayout evaluates one CPU→worker assignment against the profile.
+func ScoreLayout(p *Profile, shards [][]int) LayoutScore {
+	sc := LayoutScore{
+		Layout:  FormatShardLayout(shards),
+		Workers: len(shards),
+		Shards:  shards,
+	}
+	shardOf := make([]int, p.CPUs)
+	for i := range shardOf {
+		shardOf[i] = -1
+	}
+	for w, ids := range shards {
+		for _, id := range ids {
+			if id >= 0 && id < p.CPUs {
+				shardOf[id] = w
+			}
+		}
+	}
+	waits := pairWaits(p)
+	for a := 0; a < p.CPUs; a++ {
+		for b := 0; b < p.CPUs; b++ {
+			ns := waits[a][b]
+			if ns == 0 {
+				continue
+			}
+			sc.TotalWaitNs += ns
+			if shardOf[a] >= 0 && shardOf[a] == shardOf[b] {
+				sc.EliminatedWaitNs += ns
+			} else {
+				sc.CrossWaitNs += ns
+			}
+		}
+	}
+	work := cpuWork(p)
+	sc.ShardTicks = make([]uint64, len(shards))
+	var critical, serialized, totalTicks uint64
+	for w, ids := range shards {
+		var shardWork, shardWait uint64
+		for _, id := range ids {
+			if id < 0 || id >= p.CPUs {
+				continue
+			}
+			shardWork += work[id]
+			for _, c := range p.PerCPU {
+				if c.CPU == id {
+					sc.ShardTicks[w] += c.Ticks
+				}
+			}
+			// Waiter-side residual spin: this shard's goroutine burns it;
+			// the peer shard keeps working through it (on a multi-proc
+			// host — on one proc nothing overlaps, see below).
+			for peer := 0; peer < p.CPUs; peer++ {
+				if shardOf[peer] != w {
+					shardWait += waits[id][peer]
+				}
+			}
+		}
+		if shardWork+shardWait > critical {
+			critical = shardWork + shardWait
+		}
+		serialized += shardWork + shardWait
+	}
+	for _, t := range sc.ShardTicks {
+		totalTicks += t
+	}
+	if totalTicks > 0 {
+		var maxT uint64
+		for _, t := range sc.ShardTicks {
+			if t > maxT {
+				maxT = t
+			}
+		}
+		sc.MaxShardTickFrac = float64(maxT) / float64(totalTicks)
+	}
+	// One host proc cannot overlap shards: every shard's work and every
+	// residual spin runs back to back, so the serialized sum — not the
+	// per-shard max — is the wall-clock model there.
+	if p.HostProcs == 1 {
+		sc.PredictedNs = serialized
+	} else {
+		sc.PredictedNs = critical
+	}
+	return sc
+}
+
+// SuggestLayout searches for the assignment of the profile's CPUs into
+// at most maxWorkers shards that minimizes the predicted critical
+// path. Small machines (≤ suggestExactCPUs) are searched exhaustively
+// over canonical set partitions; larger ones fall back to a greedy
+// agglomerative merge of the hottest waiter-peer pairs.
+func SuggestLayout(p *Profile, maxWorkers int) (LayoutScore, error) {
+	if p.CPUs < 1 {
+		return LayoutScore{}, fmt.Errorf("profile has no CPUs (did the run take the parallel path?)")
+	}
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	if maxWorkers > p.CPUs {
+		maxWorkers = p.CPUs
+	}
+	if p.CPUs <= suggestExactCPUs {
+		return suggestExact(p, maxWorkers), nil
+	}
+	return suggestGreedy(p, maxWorkers), nil
+}
+
+// suggestExactCPUs bounds the exhaustive partition search: restricted
+// growth strings over ≤ 12 CPUs stay in the tens of thousands even
+// before the worker-count bound prunes them.
+const suggestExactCPUs = 12
+
+// suggestExact enumerates every canonical partition of the CPUs into
+// 1..maxWorkers shards (restricted growth strings, so permuting worker
+// labels never revisits a layout) and keeps the best score.
+func suggestExact(p *Profile, maxWorkers int) LayoutScore {
+	asg := make([]int, p.CPUs)
+	var best LayoutScore
+	have := false
+	var walk func(i, used int)
+	walk = func(i, used int) {
+		if i == p.CPUs {
+			sc := ScoreLayout(p, assignmentShards(asg, used))
+			if !have || better(sc, best) {
+				best, have = sc, true
+			}
+			return
+		}
+		lim := used + 1
+		if lim > maxWorkers {
+			lim = maxWorkers
+		}
+		for w := 0; w < lim; w++ {
+			asg[i] = w
+			nu := used
+			if w == used {
+				nu++
+			}
+			walk(i+1, nu)
+		}
+	}
+	walk(0, 0)
+	return best
+}
+
+// suggestGreedy starts from singleton shards and repeatedly merges the
+// pair of shards with the largest mutual wait time until the worker
+// bound is met, then keeps merging while a merge improves the score.
+func suggestGreedy(p *Profile, maxWorkers int) LayoutScore {
+	waits := pairWaits(p)
+	groups := make([][]int, p.CPUs)
+	for i := range groups {
+		groups[i] = []int{i}
+	}
+	mutual := func(a, b []int) uint64 {
+		var ns uint64
+		for _, x := range a {
+			for _, y := range b {
+				ns += waits[x][y] + waits[y][x]
+			}
+		}
+		return ns
+	}
+	mergeHottest := func() bool {
+		bi, bj, bns := -1, -1, uint64(0)
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				if ns := mutual(groups[i], groups[j]); bi < 0 || ns > bns {
+					bi, bj, bns = i, j, ns
+				}
+			}
+		}
+		if bi < 0 {
+			return false
+		}
+		groups[bi] = append(groups[bi], groups[bj]...)
+		sort.Ints(groups[bi])
+		groups = append(groups[:bj], groups[bj+1:]...)
+		return true
+	}
+	for len(groups) > maxWorkers {
+		if !mergeHottest() {
+			break
+		}
+	}
+	best := ScoreLayout(p, canonShards(groups))
+	for len(groups) > 1 {
+		save := make([][]int, len(groups))
+		for i := range groups {
+			save[i] = append([]int(nil), groups[i]...)
+		}
+		if !mergeHottest() {
+			break
+		}
+		sc := ScoreLayout(p, canonShards(groups))
+		if !better(sc, best) {
+			groups = save
+			break
+		}
+		best = sc
+	}
+	return best
+}
+
+// better ranks layouts: smaller predicted critical path wins; ties go
+// to the layout eliminating more wait, then to fewer workers.
+func better(a, b LayoutScore) bool {
+	if a.PredictedNs != b.PredictedNs {
+		return a.PredictedNs < b.PredictedNs
+	}
+	if a.EliminatedWaitNs != b.EliminatedWaitNs {
+		return a.EliminatedWaitNs > b.EliminatedWaitNs
+	}
+	return a.Workers < b.Workers
+}
+
+// assignmentShards converts a CPU→worker assignment into shard lists.
+func assignmentShards(asg []int, nw int) [][]int {
+	shards := make([][]int, nw)
+	for id, w := range asg {
+		shards[w] = append(shards[w], id)
+	}
+	return shards
+}
+
+// canonShards orders shards by their smallest CPU so equivalent
+// groupings render identically.
+func canonShards(groups [][]int) [][]int {
+	out := make([][]int, len(groups))
+	copy(out, groups)
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,174 @@
+package hostprof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// layoutProfile is a hand-built 4-CPU profile with two hot wait pairs
+// (0↔1 and 2↔3) and one light cross pair (0↔2): on a multi-proc host
+// the best 2-worker layout co-locates each hot pair, on a 1-proc host
+// nothing overlaps and the single shard wins.
+func layoutProfile(hostProcs int) *Profile {
+	return &Profile{
+		CPUs: 4, Workers: 2, HostProcs: hostProcs,
+		Worker: []WorkerStats{
+			{Worker: 0, CPUs: []int{0, 1}, BusyNs: 1000, SpinNs: 400},
+			{Worker: 1, CPUs: []int{2, 3}, BusyNs: 1000, SpinNs: 400},
+		},
+		PerCPU: []CPUStats{{CPU: 0, Ticks: 100}, {CPU: 1, Ticks: 100}, {CPU: 2, Ticks: 100}, {CPU: 3, Ticks: 100}},
+		Waits: []WaitStats{
+			{Waiter: 0, Peer: 1, Site: "access", Count: 10, Ns: 400},
+			{Waiter: 1, Peer: 0, Site: "access", Count: 10, Ns: 400},
+			{Waiter: 2, Peer: 3, Site: "access", Count: 10, Ns: 300},
+			{Waiter: 3, Peer: 2, Site: "access", Count: 10, Ns: 300},
+			{Waiter: 0, Peer: 2, Site: "access", Count: 2, Ns: 50},
+			{Waiter: 2, Peer: 0, Site: "access", Count: 2, Ns: 50},
+		},
+	}
+}
+
+func TestParseShardLayoutRoundTrip(t *testing.T) {
+	shards, err := ParseShardLayout("0,1,0,1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 || len(shards[0]) != 2 || shards[0][0] != 0 || shards[0][1] != 2 {
+		t.Fatalf("shards = %v, want [[0 2] [1 3]]", shards)
+	}
+	if got := FormatShardLayout(shards); got != "0,1,0,1" {
+		t.Errorf("round trip = %q, want %q", got, "0,1,0,1")
+	}
+}
+
+func TestParseShardLayoutErrors(t *testing.T) {
+	for _, bad := range []struct{ s, why string }{
+		{"0,1,0", "wrong CPU count"},
+		{"0,2,0,2", "worker indices not contiguous from 0"},
+		{"0,x,0,1", "non-numeric entry"},
+		{"0,-1,0,1", "negative worker index"},
+	} {
+		if _, err := ParseShardLayout(bad.s, 4); err == nil {
+			t.Errorf("ParseShardLayout(%q) succeeded, want error (%s)", bad.s, bad.why)
+		}
+	}
+}
+
+func TestScoreLayoutWaitDecomposition(t *testing.T) {
+	p := layoutProfile(8)
+	single, err := ParseShardLayout("0,0,0,0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ScoreLayout(p, single)
+	if sc.TotalWaitNs != 1500 || sc.EliminatedWaitNs != 1500 || sc.CrossWaitNs != 0 {
+		t.Errorf("single shard: total %d eliminated %d cross %d, want 1500/1500/0",
+			sc.TotalWaitNs, sc.EliminatedWaitNs, sc.CrossWaitNs)
+	}
+	pair, err := ParseShardLayout("0,0,1,1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc = ScoreLayout(p, pair)
+	if sc.EliminatedWaitNs != 1400 || sc.CrossWaitNs != 100 {
+		t.Errorf("hot-pair layout: eliminated %d cross %d, want 1400/100", sc.EliminatedWaitNs, sc.CrossWaitNs)
+	}
+	if sc.EliminatedWaitNs+sc.CrossWaitNs != sc.TotalWaitNs {
+		t.Errorf("decomposition does not sum: %d + %d != %d", sc.EliminatedWaitNs, sc.CrossWaitNs, sc.TotalWaitNs)
+	}
+}
+
+func TestSuggestLayoutMultiProcCoLocatesHotPairs(t *testing.T) {
+	sc, err := SuggestLayout(layoutProfile(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Layout != "0,0,1,1" {
+		t.Errorf("suggested %q, want %q (co-locate the hot wait pairs)", sc.Layout, "0,0,1,1")
+	}
+}
+
+func TestSuggestLayoutSingleProcSerializes(t *testing.T) {
+	// On one host proc shard goroutines time-slice: predicted time is
+	// the serialized sum, so the zero-cross-wait single shard must win.
+	sc, err := SuggestLayout(layoutProfile(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Workers != 1 || sc.Layout != "0,0,0,0" {
+		t.Errorf("suggested %q (%d workers), want single shard 0,0,0,0", sc.Layout, sc.Workers)
+	}
+	if sc.CrossWaitNs != 0 {
+		t.Errorf("single shard cross wait = %d, want 0", sc.CrossWaitNs)
+	}
+}
+
+func TestSuggestLayoutGreedyLargeMachine(t *testing.T) {
+	// 16 CPUs exceeds the exhaustive-search bound; the greedy merger
+	// must still return a valid layout within the worker bound.
+	p := &Profile{CPUs: 16, Workers: 4, HostProcs: 8}
+	for i := 0; i < 16; i++ {
+		p.PerCPU = append(p.PerCPU, CPUStats{CPU: i, Ticks: 100})
+	}
+	p.Worker = []WorkerStats{{Worker: 0, BusyNs: 16000, SpinNs: 2000}}
+	// One dominant pair: 4↔5.
+	p.Waits = []WaitStats{
+		{Waiter: 4, Peer: 5, Site: "access", Count: 100, Ns: 1500},
+		{Waiter: 5, Peer: 4, Site: "access", Count: 100, Ns: 1500},
+	}
+	sc, err := SuggestLayout(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Workers < 1 || sc.Workers > 4 {
+		t.Fatalf("suggested %d workers, want 1..4", sc.Workers)
+	}
+	shards, err := ParseShardLayout(sc.Layout, 16)
+	if err != nil {
+		t.Fatalf("suggested layout %q does not parse back: %v", sc.Layout, err)
+	}
+	same := -1
+	for w, ids := range shards {
+		for _, id := range ids {
+			if id == 4 || id == 5 {
+				if same >= 0 && same != w {
+					t.Errorf("hot pair 4↔5 split across workers in %q", sc.Layout)
+				}
+				same = w
+			}
+		}
+	}
+}
+
+func TestWriteDiff(t *testing.T) {
+	old := layoutProfile(1)
+	old.Workload = "mp3d"
+	old.Coord = CoordStats{RunNs: 4000, SerialNs: 500, BarrierNs: 3000}
+	old.Sched = SchedStats{Windows: 10}
+	old.Decomp = decompose(old)
+
+	cur := layoutProfile(1)
+	cur.Workload = "mp3d"
+	cur.Coord = CoordStats{RunNs: 3000, SerialNs: 500, BarrierNs: 2500}
+	cur.Sched = SchedStats{Windows: 10}
+	cur.Worker[0].SpinNs = 100
+	cur.Worker[1].SpinNs = 100
+	cur.Waits = []WaitStats{{Waiter: 0, Peer: 1, Site: "access", Count: 3, Ns: 120}}
+	cur.Decomp = decompose(cur)
+
+	var buf bytes.Buffer
+	if err := WriteDiff(&buf, old, cur, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"run wall", "gate-wait", "schedule:", "per-site gate-wait deltas"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	// Shrunk wait on (0,1,access) must show a negative delta.
+	if !strings.Contains(out, "-") {
+		t.Errorf("diff output shows no negative delta:\n%s", out)
+	}
+}

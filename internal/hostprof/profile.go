@@ -1,6 +1,7 @@
 package hostprof
 
 import (
+	"runtime"
 	"sort"
 
 	"cmpsim/internal/cyc"
@@ -40,24 +41,36 @@ type SchedStats struct {
 	CutEnd       uint64       `json:"cut_end"`
 	CutEvent     uint64       `json:"cut_event"`
 	CutSampler   uint64       `json:"cut_sampler"`
-	WindowCycles uint64       `json:"window_cycles"` // sim cycles dispatched through windows
-	WindowLen    []HistBucket `json:"window_len"`    // log2 sim-cycle window lengths
+	CutFastFwd   uint64       `json:"cut_fast_forward,omitempty"` // coordinator fast-forwards over all-quiescent gaps
+	CutAdapt     uint64       `json:"cut_adapt,omitempty"`        // adaptive sub-grid shortenings
+	WindowCycles uint64       `json:"window_cycles"`              // sim cycles dispatched through windows
+	WindowLen    []HistBucket `json:"window_len"`                 // log2 sim-cycle window lengths
 }
 
 // WorkerStats is one worker goroutine's totals. Windows/Ticks/Skip* are
 // deterministic (schedule shape); BusyNs/SpinNs/SpinCount are host wall
 // clock.
 type WorkerStats struct {
-	Worker     int          `json:"worker"`
-	CPUs       []int        `json:"cpus"`
-	Windows    uint64       `json:"windows"`
-	Ticks      uint64       `json:"ticks"`
-	SkipCount  uint64       `json:"skip_count"`
-	SkipCycles uint64       `json:"skip_cycles"`
-	SkipDist   []HistBucket `json:"skip_dist,omitempty"` // log2 sim-cycle skip distances
-	BusyNs     uint64       `json:"busy_ns"`
-	SpinNs     uint64       `json:"spin_ns"`
-	SpinCount  uint64       `json:"spin_count"`
+	Worker      int          `json:"worker"`
+	CPUs        []int        `json:"cpus"`
+	Windows     uint64       `json:"windows"`
+	Ticks       uint64       `json:"ticks"`
+	SkipCount   uint64       `json:"skip_count"`
+	SkipCycles  uint64       `json:"skip_cycles"`
+	SkipDist    []HistBucket `json:"skip_dist,omitempty"` // log2 sim-cycle skip distances
+	Grants      uint64       `json:"epoch_grants,omitempty"`
+	GrantCycles uint64       `json:"epoch_grant_cycles,omitempty"`
+	BusyNs      uint64       `json:"busy_ns"`
+	SpinNs      uint64       `json:"spin_ns"`
+	SpinCount   uint64       `json:"spin_count"`
+}
+
+// CPUStats is one CPU's layout-invariant executed-tick count — the
+// balance weight the offline layout scorer uses to estimate per-worker
+// work under a hypothetical CPU→worker assignment.
+type CPUStats struct {
+	CPU   int    `json:"cpu"`
+	Ticks uint64 `json:"ticks"`
 }
 
 // WaitStats attributes gate-wait time to one (waiter CPU, laggard peer
@@ -106,8 +119,15 @@ type Profile struct {
 	Workers  int     `json:"workers"` // 0: the run never took the parallel path
 	Shards   [][]int `json:"shards,omitempty"`
 
+	// HostProcs is GOMAXPROCS at capture time. The layout scorer needs
+	// it: on a 1-proc host shard goroutines time-slice instead of
+	// overlapping, which inverts which layouts win. 0 means an old
+	// profile that never recorded it.
+	HostProcs int `json:"host_procs,omitempty"`
+
 	Sched    SchedStats    `json:"sched"`
 	Worker   []WorkerStats `json:"worker_stats,omitempty"`
+	PerCPU   []CPUStats    `json:"per_cpu,omitempty"`
 	Waits    []WaitStats   `json:"waits,omitempty"`
 	WaitHist []HistBucket  `json:"wait_hist,omitempty"` // log2 spin ns, all CPUs
 	Coord    CoordStats    `json:"coord"`
@@ -134,6 +154,7 @@ func (r *Recorder) Snapshot(workload, arch, model string) *Profile {
 	p.CPUs = r.ncpu
 	p.Workers = r.nw
 	p.Shards = r.shards
+	p.HostProcs = runtime.GOMAXPROCS(0)
 
 	c := r.coord
 	p.Sched = SchedStats{
@@ -142,6 +163,8 @@ func (r *Recorder) Snapshot(workload, arch, model string) *Profile {
 		CutEnd:       c.cuts[CutEnd],
 		CutEvent:     c.cuts[CutEvent],
 		CutSampler:   c.cuts[CutSampler],
+		CutFastFwd:   c.cuts[CutFastForward],
+		CutAdapt:     c.cuts[CutAdapt],
 		WindowCycles: c.simCycles,
 		WindowLen:    sparse(&c.winLenHist),
 	}
@@ -149,17 +172,30 @@ func (r *Recorder) Snapshot(workload, arch, model string) *Profile {
 
 	for _, tk := range r.tracks {
 		p.Worker = append(p.Worker, WorkerStats{
-			Worker:     tk.w,
-			CPUs:       tk.cpus,
-			Windows:    tk.windows,
-			Ticks:      tk.ticks,
-			SkipCount:  tk.skipCount,
-			SkipCycles: tk.skipCycles,
-			SkipDist:   sparse(&tk.skipHist),
-			BusyNs:     tk.busyNs,
-			SpinNs:     tk.spinNs,
-			SpinCount:  tk.spinCount,
+			Worker:      tk.w,
+			CPUs:        tk.cpus,
+			Windows:     tk.windows,
+			Ticks:       tk.ticks,
+			SkipCount:   tk.skipCount,
+			SkipCycles:  tk.skipCycles,
+			SkipDist:    sparse(&tk.skipHist),
+			Grants:      tk.grants,
+			GrantCycles: tk.grantCycles,
+			BusyNs:      tk.busyNs,
+			SpinNs:      tk.spinNs,
+			SpinCount:   tk.spinCount,
 		})
+	}
+	for id := 0; id < r.ncpu; id++ {
+		var n uint64
+		for _, tk := range r.tracks {
+			if id < len(tk.cpuTicks) {
+				n += tk.cpuTicks[id]
+			}
+		}
+		if n > 0 {
+			p.PerCPU = append(p.PerCPU, CPUStats{CPU: id, Ticks: n})
+		}
 	}
 
 	var wh hist

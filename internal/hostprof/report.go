@@ -78,14 +78,22 @@ func (p *Profile) WriteReport(w io.Writer, top int, simOnly bool) error {
 	for w, ids := range p.Shards {
 		fmt.Fprintf(bw, " %d:%v", w, ids)
 	}
-	fmt.Fprintf(bw, "\nwindows: %d (cut: grid %d, end %d, event %d, sampler %d), %d sim cycles\n",
+	fmt.Fprintf(bw, "\nwindows: %d (cut: grid %d, end %d, event %d, sampler %d, fast-forward %d, adapt %d), %d sim cycles\n",
 		p.Sched.Windows, p.Sched.CutGrid, p.Sched.CutEnd, p.Sched.CutEvent,
-		p.Sched.CutSampler, p.Sched.WindowCycles)
+		p.Sched.CutSampler, p.Sched.CutFastFwd, p.Sched.CutAdapt, p.Sched.WindowCycles)
 	fmt.Fprintf(bw, "window length (sim cycles, log2): %s\n", fmtHist(p.Sched.WindowLen))
-	fmt.Fprintf(bw, "%8s %-12s %10s %12s %10s %14s\n", "worker", "cpus", "windows", "ticks", "skips", "skip-cycles")
+	fmt.Fprintf(bw, "%8s %-12s %10s %12s %10s %14s %8s %14s\n", "worker", "cpus", "windows", "ticks", "skips", "skip-cycles", "grants", "grant-cycles")
 	for _, ws := range p.Worker {
-		fmt.Fprintf(bw, "%8d %-12s %10d %12d %10d %14d\n",
-			ws.Worker, fmt.Sprint(ws.CPUs), ws.Windows, ws.Ticks, ws.SkipCount, ws.SkipCycles)
+		fmt.Fprintf(bw, "%8d %-12s %10d %12d %10d %14d %8d %14d\n",
+			ws.Worker, fmt.Sprint(ws.CPUs), ws.Windows, ws.Ticks, ws.SkipCount, ws.SkipCycles,
+			ws.Grants, ws.GrantCycles)
+	}
+	if len(p.PerCPU) > 0 {
+		fmt.Fprintf(bw, "per-cpu ticks (layout-invariant):")
+		for _, c := range p.PerCPU {
+			fmt.Fprintf(bw, " cpu%d:%d", c.CPU, c.Ticks)
+		}
+		fmt.Fprintf(bw, "\n")
 	}
 	for _, ws := range p.Worker {
 		if len(ws.SkipDist) > 0 {
@@ -137,6 +145,123 @@ func (p *Profile) WriteReport(w io.Writer, top int, simOnly bool) error {
 	}
 	if p.DroppedSlices > 0 {
 		fmt.Fprintf(bw, "timeline: %d slices dropped (aggregates above are complete)\n", p.DroppedSlices)
+	}
+	return bw.Flush()
+}
+
+// fmtDeltaNs renders a signed nanosecond delta.
+func fmtDeltaNs(old, new uint64) string {
+	if new >= old {
+		return "+" + fmtNs(new-old)
+	}
+	return "-" + fmtNs(old-new)
+}
+
+// fmtDeltaPts renders a fraction change in percentage points.
+func fmtDeltaPts(old, new float64) string {
+	return fmt.Sprintf("%+.1f pts", 100*(new-old))
+}
+
+// WriteDiff renders what changed between two saved profiles of the
+// same run shape (cmd/parprof -diff old.json new.json): the speedup
+// decomposition side by side, the schedule-shape counters, and the
+// per-site gate-wait attribution sorted by absolute delta — the table
+// to read after an optimization to see exactly which waiter-peer
+// pairs paid for the improvement (or caused the regression).
+func WriteDiff(w io.Writer, old, new *Profile, top int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "host profile diff: %s -> %s\n", old.Workload, new.Workload)
+	if old.Workers != new.Workers || old.CPUs != new.CPUs {
+		fmt.Fprintf(bw, "note: shapes differ (%d workers/%d cpus -> %d workers/%d cpus); deltas compare unlike runs\n",
+			old.Workers, old.CPUs, new.Workers, new.CPUs)
+	}
+	fmt.Fprintf(bw, "\nrun wall %s -> %s (%s)\n",
+		fmtNs(old.Coord.RunNs), fmtNs(new.Coord.RunNs), fmtDeltaNs(old.Coord.RunNs, new.Coord.RunNs))
+	fmt.Fprintf(bw, "decomposition (share of workers x run-wall):\n")
+	rows := []struct {
+		name     string
+		old, new float64
+	}{
+		{"work", old.Decomp.WorkFrac, new.Decomp.WorkFrac},
+		{"gate-wait", old.Decomp.GateWaitFrac, new.Decomp.GateWaitFrac},
+		{"barrier-idle", old.Decomp.BarrierFrac, new.Decomp.BarrierFrac},
+		{"coordinator-serial", old.Decomp.SerialFrac, new.Decomp.SerialFrac},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(bw, "  %-18s %s -> %s  (%s)\n", r.name, pct(r.old), pct(r.new), fmtDeltaPts(r.old, r.new))
+	}
+	fmt.Fprintf(bw, "  %-18s %s -> %s  (%s)\n", "gate/busy",
+		pct(old.Decomp.GateShareOfBusy), pct(new.Decomp.GateShareOfBusy),
+		fmtDeltaPts(old.Decomp.GateShareOfBusy, new.Decomp.GateShareOfBusy))
+
+	sum := func(p *Profile, f func(WorkerStats) uint64) uint64 {
+		var t uint64
+		for _, ws := range p.Worker {
+			t += f(ws)
+		}
+		return t
+	}
+	fmt.Fprintf(bw, "schedule: windows %d -> %d, ticks %d -> %d, skips %d -> %d, grants %d -> %d (%d -> %d cycles granted)\n",
+		old.Sched.Windows, new.Sched.Windows,
+		sum(old, func(w WorkerStats) uint64 { return w.Ticks }), sum(new, func(w WorkerStats) uint64 { return w.Ticks }),
+		sum(old, func(w WorkerStats) uint64 { return w.SkipCount }), sum(new, func(w WorkerStats) uint64 { return w.SkipCount }),
+		sum(old, func(w WorkerStats) uint64 { return w.Grants }), sum(new, func(w WorkerStats) uint64 { return w.Grants }),
+		sum(old, func(w WorkerStats) uint64 { return w.GrantCycles }), sum(new, func(w WorkerStats) uint64 { return w.GrantCycles }))
+
+	type siteKey struct {
+		waiter, peer int
+		site         string
+	}
+	waitMap := func(p *Profile) map[siteKey]uint64 {
+		m := make(map[siteKey]uint64, len(p.Waits))
+		for _, ws := range p.Waits {
+			m[siteKey{ws.Waiter, ws.Peer, ws.Site}] += ws.Ns
+		}
+		return m
+	}
+	om, nm := waitMap(old), waitMap(new)
+	keys := make([]siteKey, 0, len(om)+len(nm))
+	seen := map[siteKey]bool{}
+	for k := range om {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range nm {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	absDelta := func(k siteKey) uint64 {
+		o, n := om[k], nm[k]
+		if n >= o {
+			return n - o
+		}
+		return o - n
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		di, dj := absDelta(keys[i]), absDelta(keys[j])
+		if di != dj {
+			return di > dj
+		}
+		a, b := keys[i], keys[j]
+		if a.waiter != b.waiter {
+			return a.waiter < b.waiter
+		}
+		if a.peer != b.peer {
+			return a.peer < b.peer
+		}
+		return a.site < b.site
+	})
+	if top > 0 && len(keys) > top {
+		keys = keys[:top]
+	}
+	if len(keys) > 0 {
+		fmt.Fprintf(bw, "per-site gate-wait deltas (by |delta|):\n")
+		fmt.Fprintf(bw, "%8s %6s %-14s %14s %14s %14s\n", "waiter", "peer", "site", "old", "new", "delta")
+		for _, k := range keys {
+			fmt.Fprintf(bw, "%8d %6d %-14s %14s %14s %14s\n",
+				k.waiter, k.peer, k.site, fmtNs(om[k]), fmtNs(nm[k]), fmtDeltaNs(om[k], nm[k]))
+		}
 	}
 	return bw.Flush()
 }
@@ -207,6 +332,9 @@ func (p *Profile) WriteChromeTrace(w io.Writer) error {
 				s.Track, us(s.T0), dur(s), s.Site, s.CPU, s.Peer, s.W0)
 		case "skip":
 			emit(`{"ph":"i","pid":0,"tid":%d,"ts":%.3f,"s":"t","name":"skip","args":{"cpu":%d,"from":%d,"to":%d}}`,
+				s.Track, us(s.T0), s.CPU, s.W0, s.W1)
+		case "grant":
+			emit(`{"ph":"i","pid":0,"tid":%d,"ts":%.3f,"s":"t","name":"grant","args":{"cpu":%d,"from":%d,"to":%d}}`,
 				s.Track, us(s.T0), s.CPU, s.W0, s.W1)
 		case "serial":
 			emit(`{"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"name":"serial","args":{}}`,

@@ -52,11 +52,13 @@ func Key(job *Job) string {
 // fingerprint (and so the cache key) automatically instead of aliasing
 // against old entries. Func, pointer and interface fields — the
 // runtime attachments Trace/Metrics/Check and the SharedData
-// classifier — are skipped; Cacheable requires them nil. SimJobs is
-// skipped by name: the parallel scheduler reproduces the serial grant
-// order exactly (output is byte-identical for any value, pinned by the
-// parallel-identity tests), so a result computed at one worker count is
-// the result at every worker count and sharding must not fragment the
+// classifier — are skipped; Cacheable requires them nil. SimJobs,
+// ShardLayout and AdaptWindow are skipped by name: the parallel
+// scheduler reproduces the serial grant order exactly (output is
+// byte-identical for any worker count, any CPU→worker assignment and
+// either window policy, pinned by the parallel-identity tests), so a
+// result computed under one host-scheduling configuration is the
+// result under every one and sharding knobs must not fragment the
 // cache.
 func Fingerprint(cfg *memsys.Config) string {
 	var sb strings.Builder
@@ -67,8 +69,9 @@ func Fingerprint(cfg *memsys.Config) string {
 		case reflect.Func, reflect.Pointer, reflect.Interface:
 			continue
 		}
-		if t.Field(i).Name == "SimJobs" {
-			continue // output-neutral host-parallelism knob (see doc comment)
+		switch t.Field(i).Name {
+		case "SimJobs", "ShardLayout", "AdaptWindow":
+			continue // output-neutral host-parallelism knobs (see doc comment)
 		}
 		fmt.Fprintf(&sb, "%s=%v;", t.Field(i).Name, v.Field(i).Interface())
 	}

@@ -121,8 +121,9 @@ func TestFingerprintCoversEveryScalarKnob(t *testing.T) {
 				t.Errorf("attachment field %s leaked into the fingerprint", f.Name)
 			}
 		default:
-			if f.Name == "SimJobs" {
-				// Output-neutral host-parallelism knob: skipped by name so
+			switch f.Name {
+			case "SimJobs", "ShardLayout", "AdaptWindow":
+				// Output-neutral host-parallelism knobs: skipped by name so
 				// sharded and serial runs share cache entries (see
 				// Fingerprint's doc comment).
 				if strings.Contains(fp, f.Name+"=") {

@@ -114,6 +114,16 @@ type SimMetrics struct {
 	LocalSkipped Counter
 	ShardTicks   *CounterVec // per-shard executed CPU ticks: utilization balance
 
+	// Epoch-grant instrumentation: when the coordinator carries per-CPU
+	// safe horizons across a quiet window boundary, a CPU whose horizon
+	// already clears the new window is granted the whole epoch without a
+	// single tick. EpochGrants counts granted window entries;
+	// EpochGrantedCycles counts the per-CPU cycles those grants covered —
+	// together the live measure of how much re-proving (and peer
+	// spinning) the horizon carry eliminates.
+	EpochGrants        Counter
+	EpochGrantedCycles Counter
+
 	// GateWaitsBySite splits GateWaits by the shared-access site whose
 	// gate spun (access/ifetch/ll-reserve/sc-check/clear-reserve/
 	// syscall/mxs-image) — the live /metrics view of the attribution
@@ -130,6 +140,8 @@ func (m *SimMetrics) register(r *Registry) {
 	r.Counter("sim_gate_waits_total", "tick-gate syncs that spun for a rotation-order grant", &m.GateWaits)
 	r.Counter("sim_local_skipped_cpu_cycles_total", "per-CPU cycles fast-forwarded inside parallel windows", &m.LocalSkipped)
 	m.ShardTicks = r.CounterVec("sim_shard_ticks_total", "CPU ticks executed by each parallel-tick shard", "shard")
+	r.Counter("sim_epoch_grants_total", "whole-window epoch grants from carried safe horizons", &m.EpochGrants)
+	r.Counter("sim_epoch_granted_cycles_total", "per-CPU cycles covered by epoch grants at window entry", &m.EpochGrantedCycles)
 	m.GateWaitsBySite = r.CounterVec("sim_gate_waits_by_site_total", "tick-gate syncs that spun, by shared-access site", "site")
 }
 
