@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Repro: grid < 16 with AdaptWindow and tick-dense cores should not hang.
+func TestAdaptSmallGridRepro(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var log []stubTick
+		cores := []*gatedStub{{id: 0}, {id: 1}}
+		m := stubParMachine(2, 8, cores...)
+		m.Cfg.AdaptWindow = true
+		for _, c := range cores {
+			c.log = &log
+		}
+		if _, _, err := m.RunWindow(0, 200); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunWindow hung (adaptLen reached 0?)")
+	}
+}
